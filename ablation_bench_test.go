@@ -1,0 +1,113 @@
+// Ablation benchmarks: the design knobs DESIGN.md calls out — the §VI
+// countermeasures and the purge-delay policy — each run as a campaign
+// variant whose headline metrics are reported next to the baseline's.
+package rrdps_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/world"
+)
+
+// ablationConfig is the shared baseline for all ablation variants.
+func ablationConfig(seed int64) world.Config {
+	cfg := world.PaperConfig(2500)
+	cfg.Seed = seed
+	cfg.LeaveRate *= 12
+	cfg.SwitchRate *= 12
+	cfg.JoinRate *= 12
+	cfg.OriginRestrictedRate = 0
+	cfg.DynamicMetaRate = 0
+	return cfg
+}
+
+type ablationOutcome struct {
+	hidden   int
+	verified int
+}
+
+var (
+	ablationOnce    sync.Once
+	ablationResults map[string]ablationOutcome
+)
+
+// runAblations executes the four campaign variants once.
+func runAblations() map[string]ablationOutcome {
+	ablationOnce.Do(func() {
+		ablationResults = make(map[string]ablationOutcome)
+		record := func(name string, res experiment.ResidualResult) {
+			h, _ := res.TotalHidden()
+			v, _ := res.TotalVerified()
+			ablationResults[name] = ablationOutcome{hidden: h, verified: v}
+		}
+
+		record("baseline", experiment.Residual{
+			World: world.New(ablationConfig(501)), Weeks: 4, WarmupDays: 28,
+		}.Run())
+
+		record("provider-audit", experiment.Residual{
+			World: world.New(ablationConfig(501)), Weeks: 4, WarmupDays: 28,
+			ProviderAudit: true,
+		}.Run())
+
+		decoyCfg := ablationConfig(501)
+		decoyCfg.DecoyOnLeaveRate = 1.0
+		record("customer-decoy", experiment.Residual{
+			World: world.New(decoyCfg), Weeks: 4, WarmupDays: 28,
+		}.Run())
+
+		fastPurge := ablationConfig(501)
+		fastPurge.PurgeDelayFree = 3 * 24 * time.Hour
+		fastPurge.PurgeDelayPaid = 7 * 24 * time.Hour
+		record("fast-purge", experiment.Residual{
+			World: world.New(fastPurge), Weeks: 4, WarmupDays: 28,
+		}.Run())
+	})
+	return ablationResults
+}
+
+// BenchmarkAblationBaseline reports the uncountered leak.
+func BenchmarkAblationBaseline(b *testing.B) {
+	out := runAblations()["baseline"]
+	for i := 0; i < b.N; i++ {
+		_ = runAblations()
+	}
+	b.ReportMetric(float64(out.hidden), "hidden")
+	b.ReportMetric(float64(out.verified), "verified")
+}
+
+// BenchmarkAblationProviderAudit reports §VI-B.1: the provider audits
+// terminated customers and stops answering for movers.
+func BenchmarkAblationProviderAudit(b *testing.B) {
+	out := runAblations()["provider-audit"]
+	for i := 0; i < b.N; i++ {
+		_ = runAblations()
+	}
+	b.ReportMetric(float64(out.hidden), "hidden")
+	b.ReportMetric(float64(out.verified), "verified")
+}
+
+// BenchmarkAblationCustomerDecoy reports §VI-B.2: leavers plant fake
+// origin records; residual answers point at dead decoys.
+func BenchmarkAblationCustomerDecoy(b *testing.B) {
+	out := runAblations()["customer-decoy"]
+	for i := 0; i < b.N; i++ {
+		_ = runAblations()
+	}
+	b.ReportMetric(float64(out.hidden), "hidden")
+	b.ReportMetric(float64(out.verified), "verified")
+}
+
+// BenchmarkAblationFastPurge reports the purge-delay knob: 3-day instead
+// of 28-day record retention after termination.
+func BenchmarkAblationFastPurge(b *testing.B) {
+	out := runAblations()["fast-purge"]
+	for i := 0; i < b.N; i++ {
+		_ = runAblations()
+	}
+	b.ReportMetric(float64(out.hidden), "hidden")
+	b.ReportMetric(float64(out.verified), "verified")
+}

@@ -1,0 +1,77 @@
+// Command worldgen builds a simulated Internet and prints its inventory:
+// provider profiles (Table II), fleet sizes, population, and initial DPS
+// adoption.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrdps/internal/core/report"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+	"rrdps/internal/world"
+)
+
+func main() {
+	sites := flag.Int("sites", 2000, "number of websites in the ranked population")
+	seed := flag.Int64("seed", 1815, "world seed")
+	providers := flag.Bool("providers", false, "print only the Table II provider profiles")
+	dumpZone := flag.String("dump-zone", "", "print a site's own zone file (apex domain) and exit")
+	flag.Parse()
+
+	if *providers {
+		fmt.Print(report.TableII())
+		return
+	}
+	if *sites <= 0 {
+		fmt.Fprintln(os.Stderr, "worldgen: -sites must be positive")
+		os.Exit(2)
+	}
+
+	cfg := world.PaperConfig(*sites)
+	cfg.Seed = *seed
+	w := world.New(cfg)
+
+	if *dumpZone != "" {
+		apex, err := dnsmsg.ParseName(*dumpZone)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+			os.Exit(2)
+		}
+		site, ok := w.Site(apex)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "worldgen: no site %s in this world (try -sites/-seed)\n", apex)
+			os.Exit(1)
+		}
+		if err := site.Zone().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("world: %d sites, seed %d\n\n", *sites, *seed)
+	fmt.Print(report.TableII())
+
+	adopted := 0
+	byProvider := make(map[dps.ProviderKey]int)
+	for _, s := range w.Sites() {
+		if key, _, _ := s.Provider(); key != "" {
+			adopted++
+			byProvider[key]++
+		}
+	}
+	fmt.Printf("\ninitial adoption: %d/%d (%.2f%%)\n", adopted, *sites, 100*float64(adopted)/float64(*sites))
+	for _, key := range dps.AllKeys() {
+		if byProvider[key] == 0 {
+			continue
+		}
+		p, _ := w.Provider(key)
+		fmt.Printf("  %-11s %5d customers  %d edges  %d pool NS\n",
+			key, byProvider[key], len(p.EdgeAddrs()), len(p.NSPool()))
+	}
+	sends, drops := w.Net.Stats()
+	fmt.Printf("\nfabric: %d sends, %d drops during build\n", sends, drops)
+}

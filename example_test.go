@@ -1,0 +1,71 @@
+package rrdps_test
+
+import (
+	"fmt"
+
+	"rrdps"
+)
+
+// ExampleNewWorld builds a small deterministic world and inspects its
+// population.
+func ExampleNewWorld() {
+	cfg := rrdps.PaperConfig(300)
+	cfg.Seed = 12345
+	w := rrdps.NewWorld(cfg)
+
+	adopted := 0
+	for _, site := range w.Sites() {
+		if key, _, _ := site.Provider(); key != "" {
+			adopted++
+		}
+	}
+	fmt.Printf("sites: %d\n", len(w.Sites()))
+	fmt.Printf("initial adopters: %d\n", adopted)
+	// Output:
+	// sites: 300
+	// initial adopters: 31
+}
+
+// ExampleProfiles lists which providers are vulnerable to residual
+// resolution by policy.
+func ExampleProfiles() {
+	for _, p := range rrdps.Profiles() {
+		if p.Residual() {
+			fmt.Println(p.DisplayName)
+		}
+	}
+	// Output:
+	// Cloudflare
+	// Incapsula
+}
+
+// ExamplePurgeTrial replays the paper's §V-A.3 controlled experiment.
+func ExamplePurgeTrial() {
+	cfg := rrdps.PaperConfig(150)
+	cfg.Seed = 54321
+	// Freeze background churn; the trial drives its own site.
+	cfg.JoinRate, cfg.LeaveRate, cfg.PauseRate, cfg.SwitchRate = 0, 0, 0, 0
+	cfg.UnprotectedIPChangeRate = 0
+	w := rrdps.NewWorld(cfg)
+
+	week, err := rrdps.PurgeTrial{
+		World:    w,
+		Provider: rrdps.Cloudflare,
+		Plan:     rrdps.PlanFree,
+	}.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("residual record purged at week %d\n", week)
+	// Output:
+	// residual record purged at week 4
+}
+
+// ExampleParseName shows name normalization.
+func ExampleParseName() {
+	n, _ := rrdps.ParseName("WWW.Example.COM.")
+	fmt.Println(n)
+	// Output:
+	// www.example.com
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small simulated Internet, watch one website join a
+// DPS, leave it, and observe the residual resolution that leaks its origin.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+	"rrdps/internal/netsim"
+	"rrdps/internal/world"
+)
+
+func main() {
+	// A 200-site world with every Table II provider wired up.
+	cfg := world.PaperConfig(200)
+	cfg.Seed = 42
+	w := world.New(cfg)
+
+	// Pick a site that is not yet on any DPS.
+	var site = w.Sites()[0]
+	for _, s := range w.Sites() {
+		if key, _, _ := s.Provider(); key == "" {
+			site = s
+			break
+		}
+	}
+	host := site.WWW()
+	fmt.Printf("site: %s, origin %v\n", host, site.OriginAddr())
+
+	// Resolve it like any client would.
+	resolver := w.NewResolver(netsim.RegionLondon)
+	res, err := resolver.Resolve(host, dnsmsg.TypeA)
+	if err != nil {
+		log.Fatalf("resolve: %v", err)
+	}
+	fmt.Printf("public resolution (no DPS):  %v\n", res.Addrs())
+
+	// The site joins Cloudflare with NS-based rerouting.
+	if err := site.Join(dps.Cloudflare, dps.ReroutingNS, dps.PlanFree); err != nil {
+		log.Fatalf("join: %v", err)
+	}
+	resolver.PurgeCache()
+	res, err = resolver.Resolve(host, dnsmsg.TypeA)
+	if err != nil {
+		log.Fatalf("resolve: %v", err)
+	}
+	fmt.Printf("public resolution (on DPS):  %v  <- edge, origin hidden\n", res.Addrs())
+
+	// The site leaves (and tells Cloudflare). Its own DNS serves the
+	// origin again, and Cloudflare keeps a residual record.
+	if err := site.Leave(true); err != nil {
+		log.Fatalf("leave: %v", err)
+	}
+	resolver.PurgeCache()
+	res, err = resolver.Resolve(host, dnsmsg.TypeA)
+	if err != nil {
+		log.Fatalf("resolve: %v", err)
+	}
+	fmt.Printf("public resolution (left):    %v\n", res.Addrs())
+
+	// An attacker interrogates a Cloudflare nameserver directly.
+	cf, _ := w.Provider(dps.Cloudflare)
+	pool := cf.NSPool()
+	nsAddr, _ := cf.NSPoolAddr(pool[0])
+	attacker := dnsresolver.NewClient(w.Net, w.Alloc.NextAddr(), netsim.RegionTokyo, rand.New(rand.NewSource(7)))
+	resp, err := attacker.Exchange(nsAddr, host, dnsmsg.TypeA)
+	if err != nil {
+		log.Fatalf("direct query: %v", err)
+	}
+	leaked := resp.AnswersOfType(dnsmsg.TypeA)[0].Data.(dnsmsg.AData).Addr
+	fmt.Printf("residual resolution via %s: %v\n", pool[0], leaked)
+	if leaked == site.OriginAddr() {
+		fmt.Println("-> the previous DPS provider still reveals the origin address.")
+	}
+}

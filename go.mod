@@ -1,0 +1,3 @@
+module rrdps
+
+go 1.22

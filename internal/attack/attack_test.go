@@ -1,0 +1,179 @@
+package attack
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rrdps/internal/edge"
+	"rrdps/internal/httpsim"
+	"rrdps/internal/ipspace"
+	"rrdps/internal/netsim"
+	"rrdps/internal/simtime"
+)
+
+// fixture wires one origin behind one scrubbing edge.
+type fixture struct {
+	net      *netsim.Network
+	guard    *CapacityGuard
+	scrubber *RateScrubber
+
+	originAddr netip.Addr
+	edgeAddr   netip.Addr
+	botnet     *Botnet
+	legit      *httpsim.Client
+}
+
+const testHost = "www.victim.com"
+
+func newFixture(t *testing.T, bots, originCapacity int) *fixture {
+	t.Helper()
+	clock := simtime.NewSimulated()
+	f := &fixture{
+		net:        netsim.New(netsim.Config{Clock: clock}),
+		originAddr: netip.MustParseAddr("198.18.0.10"),
+		edgeAddr:   netip.MustParseAddr("104.16.0.10"),
+	}
+	origin := httpsim.NewOrigin(httpsim.OriginConfig{Page: httpsim.Page{Title: "Victim"}})
+	f.guard = NewCapacityGuard(origin, originCapacity)
+	f.net.Register(netsim.Endpoint{Addr: f.originAddr, Port: netsim.PortHTTP}, netsim.RegionVirginia, f.guard)
+
+	f.scrubber = NewRateScrubber(3)
+	e := edge.New(edge.Config{
+		Network:  f.net,
+		Addr:     f.edgeAddr,
+		Region:   netsim.RegionOregon,
+		Clock:    clock,
+		CacheTTL: time.Hour,
+		Scrubber: f.scrubber,
+	})
+	e.SetBackend(testHost, f.originAddr)
+	f.net.Register(netsim.Endpoint{Addr: f.edgeAddr, Port: netsim.PortHTTP}, netsim.RegionOregon, e)
+
+	alloc := ipspace.NewAllocator(netip.MustParseAddr("60.0.0.0"))
+	f.botnet = NewBotnet(bots, alloc.NextAddr, rand.New(rand.NewSource(5)))
+	f.legit = httpsim.NewClient(f.net, netip.MustParseAddr("198.51.100.77"), netsim.RegionLondon)
+	return f
+}
+
+func (f *fixture) scenario(target netip.Addr) Scenario {
+	return Scenario{
+		Network:        f.net,
+		TargetAddr:     target,
+		TargetHost:     testHost,
+		Botnet:         f.botnet,
+		RequestsPerBot: 10,
+		Ticks:          5,
+		LegitClient:    f.legit,
+		LegitAddr:      f.edgeAddr,
+		Tickers:        []interface{ Tick() }{f.scrubber, f.guard},
+	}
+}
+
+// TestProtectedAttackAbsorbed is Fig. 1(a): flooding the edge leaves the
+// site fully available while scrubbing eats the flood.
+func TestProtectedAttackAbsorbed(t *testing.T) {
+	f := newFixture(t, 40, 50)
+	res := f.scenario(f.edgeAddr).Run()
+
+	if res.Availability() != 1.0 {
+		t.Fatalf("availability = %.2f, want 1.0 under protection (result %+v)", res.Availability(), res)
+	}
+	if res.AttackDropped == 0 {
+		t.Fatal("scrubbing dropped nothing")
+	}
+	// Budget 3/tick/bot of 10 sent: 70% dropped.
+	if ratio := float64(res.AttackDropped) / float64(res.AttackSent); ratio < 0.6 {
+		t.Fatalf("dropped ratio = %.2f, want ≈0.7", ratio)
+	}
+	if f.guard.OverloadTicks() != 0 {
+		t.Fatalf("origin overloaded %d ticks behind the edge", f.guard.OverloadTicks())
+	}
+}
+
+// TestBypassAttackKnocksOriginOut is Fig. 1(b): with the origin address
+// leaked (residual resolution), the flood bypasses the DPS and takes the
+// site down.
+func TestBypassAttackKnocksOriginOut(t *testing.T) {
+	f := newFixture(t, 40, 50)
+	res := f.scenario(f.originAddr).Run()
+
+	if res.Availability() != 0 {
+		t.Fatalf("availability = %.2f, want 0 under direct flood (result %+v)", res.Availability(), res)
+	}
+	if f.guard.OverloadTicks() != 5 {
+		t.Fatalf("overload ticks = %d, want 5", f.guard.OverloadTicks())
+	}
+	if res.AttackDropped == 0 {
+		t.Fatal("no flood requests dropped by exhausted origin")
+	}
+}
+
+// TestSmallFloodDirectlySurvivable: a flood below origin capacity does not
+// take the site down even when aimed at the origin.
+func TestSmallFloodDirectlySurvivable(t *testing.T) {
+	f := newFixture(t, 3, 500)
+	res := f.scenario(f.originAddr).Run()
+	if res.Availability() != 1.0 {
+		t.Fatalf("availability = %.2f, want 1.0 for sub-capacity flood", res.Availability())
+	}
+}
+
+func TestRateScrubber(t *testing.T) {
+	s := NewRateScrubber(2)
+	src := netip.MustParseAddr("60.0.0.1")
+	for i := 0; i < 2; i++ {
+		if !s.Allow(src, testHost) {
+			t.Fatalf("request %d blocked within budget", i)
+		}
+	}
+	if s.Allow(src, testHost) {
+		t.Fatal("over-budget request allowed")
+	}
+	s.Tick()
+	if !s.Allow(src, testHost) {
+		t.Fatal("budget did not reset on tick")
+	}
+}
+
+func TestCapacityGuard(t *testing.T) {
+	inner := netsim.HandlerFunc(func(netsim.Request) ([]byte, error) { return []byte("ok"), nil })
+	g := NewCapacityGuard(inner, 2)
+	for i := 0; i < 2; i++ {
+		if out, _ := g.ServeNet(netsim.Request{}); out == nil {
+			t.Fatalf("request %d dropped within capacity", i)
+		}
+	}
+	if out, _ := g.ServeNet(netsim.Request{}); out != nil {
+		t.Fatal("over-capacity request served")
+	}
+	if g.OverloadTicks() != 1 {
+		t.Fatalf("overload ticks = %d", g.OverloadTicks())
+	}
+	g.Tick()
+	if out, _ := g.ServeNet(netsim.Request{}); out == nil {
+		t.Fatal("capacity did not reset on tick")
+	}
+}
+
+func TestBotnetDeterministic(t *testing.T) {
+	allocA := ipspace.NewAllocator(netip.MustParseAddr("60.0.0.0"))
+	allocB := ipspace.NewAllocator(netip.MustParseAddr("60.0.0.0"))
+	a := NewBotnet(10, allocA.NextAddr, rand.New(rand.NewSource(9)))
+	b := NewBotnet(10, allocB.NextAddr, rand.New(rand.NewSource(9)))
+	if a.Size() != 10 || b.Size() != 10 {
+		t.Fatal("botnet size wrong")
+	}
+	for i := range a.bots {
+		if a.bots[i] != b.bots[i] || a.regions[i] != b.regions[i] {
+			t.Fatal("botnets differ despite same seed")
+		}
+	}
+}
+
+func TestResultAvailabilityEmpty(t *testing.T) {
+	if (Result{}).Availability() != 0 {
+		t.Fatal("empty result availability should be 0")
+	}
+}

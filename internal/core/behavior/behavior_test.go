@@ -1,0 +1,213 @@
+package behavior
+
+import (
+	"testing"
+
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+func on(p dps.ProviderKey) status.Adoption {
+	return status.Adoption{Status: status.StatusOn, Provider: p}
+}
+func off(p dps.ProviderKey) status.Adoption {
+	return status.Adoption{Status: status.StatusOff, Provider: p}
+}
+func none() status.Adoption { return status.Adoption{Status: status.StatusNone} }
+
+func day(apex dnsmsg.Name, a status.Adoption) map[dnsmsg.Name]status.Adoption {
+	return map[dnsmsg.Name]status.Adoption{apex: a}
+}
+
+func kindsOf(dets []Detection) []Kind {
+	out := make([]Kind, len(dets))
+	for i, d := range dets {
+		out[i] = d.Kind
+	}
+	return out
+}
+
+func TestTableIVTransitions(t *testing.T) {
+	const apex = dnsmsg.Name("site.com")
+	tests := []struct {
+		name string
+		prev status.Adoption
+		cur  status.Adoption
+		want []Kind
+	}{
+		{"join", none(), on(dps.Cloudflare), []Kind{Join}},
+		{"join+pause", none(), off(dps.Cloudflare), []Kind{Join, Pause}},
+		{"leave from on", on(dps.Cloudflare), none(), []Kind{Leave}},
+		{"leave from off", off(dps.Cloudflare), none(), []Kind{Leave}},
+		{"pause", on(dps.Cloudflare), off(dps.Cloudflare), []Kind{Pause}},
+		{"resume", off(dps.Cloudflare), on(dps.Cloudflare), []Kind{Resume}},
+		{"switch on-on", on(dps.Cloudflare), on(dps.Incapsula), []Kind{Switch}},
+		{"switch off-on", off(dps.Cloudflare), on(dps.Incapsula), []Kind{Switch}},
+		{"switch on-off", on(dps.Cloudflare), off(dps.Incapsula), []Kind{Switch}},
+		{"null same", on(dps.Cloudflare), on(dps.Cloudflare), nil},
+		{"null none", none(), none(), nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := NewTracker(nil)
+			tr.Observe(0, day(apex, tt.prev))
+			got := tr.Observe(1, day(apex, tt.cur))
+			if len(got) != len(tt.want) {
+				t.Fatalf("detections = %v, want kinds %v", got, tt.want)
+			}
+			for i, k := range tt.want {
+				if got[i].Kind != k {
+					t.Fatalf("detections = %v, want kinds %v", kindsOf(got), tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestDetectionProviders(t *testing.T) {
+	const apex = dnsmsg.Name("site.com")
+	tr := NewTracker(nil)
+	tr.Observe(0, day(apex, on(dps.Cloudflare)))
+	got := tr.Observe(1, day(apex, on(dps.Incapsula)))
+	if len(got) != 1 || got[0].From != dps.Cloudflare || got[0].To != dps.Incapsula {
+		t.Fatalf("switch detection = %+v", got)
+	}
+}
+
+func TestPauseWindowTracking(t *testing.T) {
+	const apex = dnsmsg.Name("site.com")
+	tr := NewTracker(nil)
+	tr.Observe(0, day(apex, on(dps.Cloudflare)))
+	tr.Observe(1, day(apex, off(dps.Cloudflare)))
+	tr.Observe(2, day(apex, off(dps.Cloudflare)))
+	tr.Observe(3, day(apex, off(dps.Cloudflare)))
+	tr.Observe(4, day(apex, on(dps.Cloudflare)))
+
+	ws := tr.PauseWindows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	w := ws[0]
+	if w.StartDay != 1 || w.EndDay != 4 || w.Days() != 3 || !w.Resumed || w.ResumedAt != dps.Cloudflare {
+		t.Fatalf("window = %+v", w)
+	}
+}
+
+func TestPauseWindowCrossProviderResume(t *testing.T) {
+	// Paper Fig. 5 "Overall" includes pauses at Cloudflare resumed at
+	// Incapsula.
+	const apex = dnsmsg.Name("site.com")
+	tr := NewTracker(nil)
+	tr.Observe(0, day(apex, on(dps.Cloudflare)))
+	tr.Observe(1, day(apex, off(dps.Cloudflare)))
+	tr.Observe(2, day(apex, on(dps.Incapsula)))
+	ws := tr.PauseWindows()
+	if len(ws) != 1 || !ws[0].Resumed || ws[0].ResumedAt != dps.Incapsula || ws[0].Provider != dps.Cloudflare {
+		t.Fatalf("windows = %+v", ws)
+	}
+}
+
+func TestPauseWindowClosedByLeave(t *testing.T) {
+	const apex = dnsmsg.Name("site.com")
+	tr := NewTracker(nil)
+	tr.Observe(0, day(apex, on(dps.Cloudflare)))
+	tr.Observe(1, day(apex, off(dps.Cloudflare)))
+	tr.Observe(2, day(apex, none()))
+	ws := tr.PauseWindows()
+	if len(ws) != 1 || ws[0].Resumed {
+		t.Fatalf("windows = %+v", ws)
+	}
+}
+
+func TestFirstObservationBaselineNoDetections(t *testing.T) {
+	tr := NewTracker(nil)
+	got := tr.Observe(0, day("site.com", on(dps.Cloudflare)))
+	if len(got) != 0 {
+		t.Fatalf("baseline produced detections: %v", got)
+	}
+}
+
+func TestMissingDomainCarriesForward(t *testing.T) {
+	// A transient resolution failure (domain absent from the day's map)
+	// must not register as LEAVE.
+	const apex = dnsmsg.Name("site.com")
+	tr := NewTracker(nil)
+	tr.Observe(0, day(apex, on(dps.Cloudflare)))
+	if got := tr.Observe(1, map[dnsmsg.Name]status.Adoption{}); len(got) != 0 {
+		t.Fatalf("absence produced detections: %v", got)
+	}
+	if got := tr.Observe(2, day(apex, on(dps.Cloudflare))); len(got) != 0 {
+		t.Fatalf("reappearance produced detections: %v", got)
+	}
+	got := tr.Observe(3, day(apex, none()))
+	if len(got) != 1 || got[0].Kind != Leave {
+		t.Fatalf("detections = %v, want LEAVE", got)
+	}
+}
+
+func TestExcludedDomainIgnored(t *testing.T) {
+	const apex = dnsmsg.Name("multicdn.com")
+	tr := NewTracker([]dnsmsg.Name{apex})
+	tr.Observe(0, day(apex, on(dps.Cloudflare)))
+	got := tr.Observe(1, day(apex, on(dps.Fastly)))
+	if len(got) != 0 {
+		t.Fatalf("excluded domain produced detections: %v", got)
+	}
+}
+
+func TestObserveOutOfOrderPanics(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Observe(3, day("a.com", none()))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Observe did not panic")
+		}
+	}()
+	tr.Observe(3, day("a.com", none()))
+}
+
+func TestCounts(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Observe(0, map[dnsmsg.Name]status.Adoption{
+		"a.com": none(), "b.com": on(dps.Cloudflare), "c.com": on(dps.Cloudflare),
+	})
+	tr.Observe(1, map[dnsmsg.Name]status.Adoption{
+		"a.com": on(dps.Incapsula),   // JOIN
+		"b.com": off(dps.Cloudflare), // PAUSE
+		"c.com": none(),              // LEAVE
+	})
+	counts := tr.Counts()
+	if counts[Join] != 1 || counts[Pause] != 1 || counts[Leave] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	byDay := tr.CountsByDay()
+	if byDay[1][Join] != 1 || len(byDay[0]) != 0 {
+		t.Fatalf("byDay = %v", byDay)
+	}
+	if len(tr.Detections()) != 3 {
+		t.Fatalf("detections = %v", tr.Detections())
+	}
+}
+
+func TestOffAtBaselineOpensWindow(t *testing.T) {
+	const apex = dnsmsg.Name("site.com")
+	tr := NewTracker(nil)
+	tr.Observe(0, day(apex, off(dps.Incapsula)))
+	if tr.OpenPauseCount() != 1 {
+		t.Fatalf("open pauses = %d", tr.OpenPauseCount())
+	}
+	tr.Observe(2, day(apex, on(dps.Incapsula)))
+	ws := tr.PauseWindows()
+	if len(ws) != 1 || ws[0].Days() != 2 {
+		t.Fatalf("windows = %+v", ws)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range AllKinds() {
+		if k.String() == "" {
+			t.Fatalf("kind %d empty string", k)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package behavior
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+// randomAdoption draws a plausible classification.
+func randomAdoption(rng *rand.Rand) status.Adoption {
+	providers := []dps.ProviderKey{dps.Cloudflare, dps.Incapsula, dps.Fastly}
+	switch rng.Intn(3) {
+	case 0:
+		return status.Adoption{Status: status.StatusNone}
+	case 1:
+		return status.Adoption{Status: status.StatusOn, Provider: providers[rng.Intn(len(providers))]}
+	default:
+		return status.Adoption{Status: status.StatusOff, Provider: providers[rng.Intn(len(providers))]}
+	}
+}
+
+// TestFSMDeterministicQuick: two trackers fed the same observation
+// sequence produce identical detections and pause windows.
+func TestFSMDeterministicQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64, nDays, nDomains uint8) bool {
+		days := int(nDays)%10 + 2
+		domains := int(nDomains)%8 + 1
+		src := rand.New(rand.NewSource(seed))
+		seq := make([]map[dnsmsg.Name]status.Adoption, days)
+		for d := range seq {
+			seq[d] = make(map[dnsmsg.Name]status.Adoption, domains)
+			for i := 0; i < domains; i++ {
+				apex := dnsmsg.Name(benchName(i))
+				if src.Intn(10) == 0 {
+					continue // simulate a resolution failure
+				}
+				seq[d][apex] = randomAdoption(src)
+			}
+		}
+		a, b := NewTracker(nil), NewTracker(nil)
+		for d := range seq {
+			da := a.Observe(d, seq[d])
+			db := b.Observe(d, seq[d])
+			if !reflect.DeepEqual(da, db) {
+				return false
+			}
+		}
+		return reflect.DeepEqual(a.PauseWindows(), b.PauseWindows()) &&
+			reflect.DeepEqual(a.Counts(), b.Counts())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSMConservationQuick: over any observation sequence, behaviour
+// counts satisfy conservation laws — a domain cannot RESUME more often
+// than it PAUSEd (+1 for a baseline OFF), and every closed pause window
+// has non-negative length.
+func TestFSMConservationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64, nDays uint8) bool {
+		days := int(nDays)%15 + 2
+		src := rand.New(rand.NewSource(seed))
+		tracker := NewTracker(nil)
+		const apex = dnsmsg.Name("site.com")
+		for d := 0; d < days; d++ {
+			tracker.Observe(d, map[dnsmsg.Name]status.Adoption{apex: randomAdoption(src)})
+		}
+		counts := tracker.Counts()
+		if counts[Resume] > counts[Pause]+1 {
+			return false
+		}
+		for _, w := range tracker.PauseWindows() {
+			if w.Days() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchName(i int) string {
+	const letters = "abcdefghij"
+	return "dom" + string(letters[i%10]) + ".com"
+}

@@ -1,0 +1,169 @@
+// Package collect implements the paper's DNS record collector (§IV-B.1):
+// a recursive resolver that takes a daily snapshot of the A, CNAME, and NS
+// records of every studied website, purging its cache before each run so
+// snapshots stay independent.
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"rrdps/internal/alexa"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+)
+
+// Record is one domain's records in a snapshot.
+type Record struct {
+	Domain alexa.Domain
+	// Addrs are the A records of the www subdomain after CNAME chasing.
+	Addrs []netip.Addr
+	// CNAMEs is the alias chain (targets, in order) seen while resolving
+	// the www subdomain.
+	CNAMEs []dnsmsg.Name
+	// NSHosts are the apex's NS records.
+	NSHosts []dnsmsg.Name
+	// ResolveOK reports whether the A/CNAME resolution succeeded; failed
+	// domains (NXDOMAIN, SERVFAIL) stay in the snapshot with it false, so
+	// day-over-day diffing can distinguish "gone" from "never asked".
+	ResolveOK bool
+	// NSOK reports whether the apex NS resolution succeeded. Consumers
+	// that need the full record triple (the behaviour classifier) must
+	// skip records with partial data: a lost NS answer must not demote an
+	// OFF site to NONE.
+	NSOK bool
+}
+
+// Snapshot is one day's collected records.
+type Snapshot struct {
+	Day     int
+	Records map[dnsmsg.Name]Record // keyed by apex
+}
+
+// Apexes returns the snapshot's domains in rank order.
+func (s Snapshot) Apexes() []dnsmsg.Name {
+	out := make([]dnsmsg.Name, 0, len(s.Records))
+	for apex := range s.Records {
+		out = append(out, apex)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return s.Records[out[i]].Domain.Rank < s.Records[out[j]].Domain.Rank
+	})
+	return out
+}
+
+// Collector drives daily collection runs.
+type Collector struct {
+	resolver *dnsresolver.Resolver
+	domains  []alexa.Domain
+	workers  int
+}
+
+// New creates a collector over the given domain list.
+func New(resolver *dnsresolver.Resolver, domains []alexa.Domain) *Collector {
+	if resolver == nil {
+		panic("collect: resolver is required")
+	}
+	return &Collector{resolver: resolver, domains: append([]alexa.Domain(nil), domains...), workers: 1}
+}
+
+// SetWorkers sets the collection parallelism (default 1). The resolver and
+// the fabric are safe for concurrent use; large populations collect
+// several times faster with a handful of workers. Snapshots are
+// value-identical to serial collection as long as the world is quiescent
+// during the run (the campaign runners advance the world only between
+// snapshots).
+func (c *Collector) SetWorkers(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("collect: SetWorkers(%d)", n))
+	}
+	c.workers = n
+}
+
+// Collect takes one snapshot labelled with day. The resolver cache is
+// purged first, exactly as the paper does between daily experiments.
+func (c *Collector) Collect(day int) Snapshot {
+	c.resolver.PurgeCache()
+	snap := Snapshot{Day: day, Records: make(map[dnsmsg.Name]Record, len(c.domains))}
+	if c.workers <= 1 {
+		for _, d := range c.domains {
+			snap.Records[d.Apex] = c.collectOne(d)
+		}
+		return snap
+	}
+
+	type result struct {
+		apex dnsmsg.Name
+		rec  Record
+	}
+	jobs := make(chan alexa.Domain)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for i := 0; i < c.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range jobs {
+				results <- result{apex: d.Apex, rec: c.collectOne(d)}
+			}
+		}()
+	}
+	go func() {
+		for _, d := range c.domains {
+			jobs <- d
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		snap.Records[r.apex] = r.rec
+	}
+	return snap
+}
+
+func (c *Collector) collectOne(d alexa.Domain) Record {
+	rec := Record{Domain: d}
+
+	aRes, err := c.resolver.Resolve(d.WWW(), dnsmsg.TypeA)
+	switch {
+	case err == nil:
+		rec.ResolveOK = true
+		rec.Addrs = aRes.Addrs()
+		rec.CNAMEs = aRes.CNAMETargets()
+	case errors.Is(err, dnsresolver.ErrNXDomain):
+		// The chain may still be informative (stale CNAME, NXDOMAIN target).
+		rec.CNAMEs = aRes.CNAMETargets()
+	default:
+		// SERVFAIL/timeout: record stays empty.
+	}
+
+	nsRes, err := c.resolver.Resolve(d.Apex, dnsmsg.TypeNS)
+	if err == nil {
+		rec.NSOK = true
+		rec.NSHosts = nsRes.NSHosts()
+	}
+	return rec
+}
+
+// ResolveOne performs a one-off "normal resolution" of an arbitrary
+// hostname's A records, as the A-matching filter needs (§V-A.2). The cache
+// is not purged: within one filtering pass, reuse is desirable.
+func (c *Collector) ResolveOne(host dnsmsg.Name) ([]netip.Addr, error) {
+	res, err := c.resolver.Resolve(host, dnsmsg.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	return res.Addrs(), nil
+}
+
+// Resolver exposes the underlying resolver (vantage reuse by the scanner).
+func (c *Collector) Resolver() *dnsresolver.Resolver { return c.resolver }
+
+// Domains returns the collector's domain list.
+func (c *Collector) Domains() []alexa.Domain {
+	return append([]alexa.Domain(nil), c.domains...)
+}

@@ -1,0 +1,100 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"rrdps/internal/alexa"
+	"rrdps/internal/dnsmsg"
+)
+
+// The JSON form lets campaigns checkpoint snapshots to disk and lets
+// external tooling consume them. Addresses and names serialize as strings.
+
+// recordJSON is the wire form of Record.
+type recordJSON struct {
+	Apex      string   `json:"apex"`
+	Rank      int      `json:"rank"`
+	Addrs     []string `json:"addrs,omitempty"`
+	CNAMEs    []string `json:"cnames,omitempty"`
+	NSHosts   []string `json:"ns_hosts,omitempty"`
+	ResolveOK bool     `json:"resolve_ok"`
+	NSOK      bool     `json:"ns_ok"`
+}
+
+// snapshotJSON is the wire form of Snapshot.
+type snapshotJSON struct {
+	Day     int          `json:"day"`
+	Records []recordJSON `json:"records"`
+}
+
+// WriteJSON serializes the snapshot (records in rank order).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	out := snapshotJSON{Day: s.Day}
+	for _, apex := range s.Apexes() {
+		rec := s.Records[apex]
+		rj := recordJSON{
+			Apex:      string(apex),
+			Rank:      rec.Domain.Rank,
+			ResolveOK: rec.ResolveOK,
+			NSOK:      rec.NSOK,
+		}
+		for _, a := range rec.Addrs {
+			rj.Addrs = append(rj.Addrs, a.String())
+		}
+		for _, c := range rec.CNAMEs {
+			rj.CNAMEs = append(rj.CNAMEs, string(c))
+		}
+		for _, h := range rec.NSHosts {
+			rj.NSHosts = append(rj.NSHosts, string(h))
+		}
+		out.Records = append(out.Records, rj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a snapshot written by WriteJSON.
+func ReadJSON(r io.Reader) (Snapshot, error) {
+	var in snapshotJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return Snapshot{}, fmt.Errorf("reading snapshot: %w", err)
+	}
+	snap := Snapshot{Day: in.Day, Records: make(map[dnsmsg.Name]Record, len(in.Records))}
+	for _, rj := range in.Records {
+		apex, err := dnsmsg.ParseName(rj.Apex)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("reading snapshot: apex %q: %w", rj.Apex, err)
+		}
+		rec := Record{
+			Domain:    alexa.Domain{Rank: rj.Rank, Apex: apex},
+			ResolveOK: rj.ResolveOK,
+			NSOK:      rj.NSOK,
+		}
+		for _, a := range rj.Addrs {
+			addr, err := netip.ParseAddr(a)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("reading snapshot: addr %q: %w", a, err)
+			}
+			rec.Addrs = append(rec.Addrs, addr)
+		}
+		for _, c := range rj.CNAMEs {
+			name, err := dnsmsg.ParseName(c)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("reading snapshot: cname %q: %w", c, err)
+			}
+			rec.CNAMEs = append(rec.CNAMEs, name)
+		}
+		for _, h := range rj.NSHosts {
+			name, err := dnsmsg.ParseName(h)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("reading snapshot: ns %q: %w", h, err)
+			}
+			rec.NSHosts = append(rec.NSHosts, name)
+		}
+		snap.Records[apex] = rec
+	}
+	return snap, nil
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"rrdps/internal/world"
+)
+
+// countermeasureConfig builds matching worlds except for the mitigation
+// under test.
+func countermeasureConfig(seed int64) world.Config {
+	cfg := world.PaperConfig(1500)
+	cfg.Seed = seed
+	cfg.LeaveRate *= 12
+	cfg.SwitchRate *= 12
+	cfg.JoinRate *= 12
+	cfg.OriginRestrictedRate = 0
+	cfg.DynamicMetaRate = 0
+	return cfg
+}
+
+// TestProviderAuditEliminatesResidualResolution checks §VI-B.1: a provider
+// that audits terminated customers against public resolution stops leaking
+// moved origins.
+func TestProviderAuditEliminatesResidualResolution(t *testing.T) {
+	base := Residual{World: world.New(countermeasureConfig(301)), Weeks: 3, WarmupDays: 21}.Run()
+	baseHidden, _ := base.TotalHidden()
+	if baseHidden == 0 {
+		t.Fatal("baseline produced no hidden records; test cannot discriminate")
+	}
+
+	audited := Residual{
+		World: world.New(countermeasureConfig(301)), Weeks: 3, WarmupDays: 21,
+		ProviderAudit: true,
+	}.Run()
+	auditHidden, _ := audited.TotalHidden()
+	auditVerified, _ := audited.TotalVerified()
+
+	// The audit purges customers whose public A diverged (movers). What
+	// can remain hidden are records that diverge only between audit and
+	// scan within the same week.
+	if auditHidden >= baseHidden {
+		t.Fatalf("audit did not reduce hidden records: %d -> %d", baseHidden, auditHidden)
+	}
+	if auditVerified > baseHidden/4 {
+		t.Fatalf("audit left %d verified exposures (baseline hidden %d)", auditVerified, baseHidden)
+	}
+}
+
+// TestCustomerDecoyKillsVerification checks §VI-B.2: leavers planting fake
+// origin records leave only dead decoys behind.
+func TestCustomerDecoyKillsVerification(t *testing.T) {
+	baseCfg := countermeasureConfig(303)
+	base := Residual{World: world.New(baseCfg), Weeks: 3, WarmupDays: 21}.Run()
+	baseVerified, _ := base.TotalVerified()
+	if baseVerified == 0 {
+		t.Fatal("baseline produced no verified origins; test cannot discriminate")
+	}
+
+	decoyCfg := countermeasureConfig(303)
+	decoyCfg.DecoyOnLeaveRate = 1.0
+	decoyed := Residual{World: world.New(decoyCfg), Weeks: 3, WarmupDays: 21}.Run()
+	decoyVerified, _ := decoyed.TotalVerified()
+	decoyHidden, _ := decoyed.TotalHidden()
+
+	if decoyVerified != 0 {
+		t.Fatalf("decoys did not kill verification: %d verified (hidden %d)", decoyVerified, decoyHidden)
+	}
+	// Hidden records still exist — the provider answers the decoy — but
+	// they are harmless.
+	if decoyHidden == 0 {
+		t.Log("no hidden records at all under decoys (also acceptable)")
+	}
+}
+
+// TestPurgeDelayBoundsExposure: shorter purge delays shrink the exposed
+// population (the §V-A.3 observation that free-plan records vanish at the
+// fourth week, inverted as a countermeasure knob).
+func TestPurgeDelayBoundsExposure(t *testing.T) {
+	slowCfg := countermeasureConfig(307)
+	slow := Residual{World: world.New(slowCfg), Weeks: 3, WarmupDays: 28}.Run()
+	slowHidden, _ := slow.TotalHidden()
+
+	fastCfg := countermeasureConfig(307)
+	fastCfg.PurgeDelayFree = 3 * 24 * time.Hour
+	fastCfg.PurgeDelayPaid = 7 * 24 * time.Hour
+	fast := Residual{World: world.New(fastCfg), Weeks: 3, WarmupDays: 28}.Run()
+	fastHidden, _ := fast.TotalHidden()
+
+	if slowHidden == 0 {
+		t.Fatal("baseline produced no hidden records")
+	}
+	if fastHidden >= slowHidden {
+		t.Fatalf("aggressive purge did not shrink exposure: %d -> %d", slowHidden, fastHidden)
+	}
+}

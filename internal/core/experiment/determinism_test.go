@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"rrdps/internal/world"
+)
+
+// TestDynamicsFullyDeterministic: two campaigns on identically seeded
+// worlds produce byte-identical results.
+func TestDynamicsFullyDeterministic(t *testing.T) {
+	build := func() *world.World {
+		cfg := world.PaperConfig(500)
+		cfg.Seed = 909
+		cfg.JoinRate = 0.01
+		cfg.LeaveRate = 0.02
+		cfg.PauseRate = 0.03
+		cfg.SwitchRate = 0.01
+		return world.New(cfg)
+	}
+	a := Dynamics{World: build(), Days: 8}.Run()
+	b := Dynamics{World: build(), Days: 8}.Run()
+
+	if !reflect.DeepEqual(a.Detections, b.Detections) {
+		t.Fatal("detections differ between identical campaigns")
+	}
+	if !reflect.DeepEqual(a.PauseWindows, b.PauseWindows) {
+		t.Fatal("pause windows differ")
+	}
+	if !reflect.DeepEqual(a.CountsByDay, b.CountsByDay) {
+		t.Fatal("daily counts differ")
+	}
+	if !reflect.DeepEqual(a.Unchanged, b.Unchanged) {
+		t.Fatal("Table V data differs")
+	}
+}
+
+// TestResidualFullyDeterministic: the §V campaign is likewise a pure
+// function of its configuration.
+func TestResidualFullyDeterministic(t *testing.T) {
+	build := func() *world.World {
+		return world.New(countermeasureConfig(911))
+	}
+	a := Residual{World: build(), Weeks: 2, WarmupDays: 14}.Run()
+	b := Residual{World: build(), Weeks: 2, WarmupDays: 14}.Run()
+
+	aw, ah, av := a.CFExposure.WeeklyCounts()
+	bw, bh, bv := b.CFExposure.WeeklyCounts()
+	if !reflect.DeepEqual(aw, bw) || !reflect.DeepEqual(ah, bh) || !reflect.DeepEqual(av, bv) {
+		t.Fatal("weekly counts differ between identical campaigns")
+	}
+	if !reflect.DeepEqual(a.CFExposure.ExposedApexes(), b.CFExposure.ExposedApexes()) {
+		t.Fatal("exposed apex sets differ")
+	}
+	for i := range a.Cloudflare {
+		if !reflect.DeepEqual(a.Cloudflare[i].Report.Hidden, b.Cloudflare[i].Report.Hidden) {
+			t.Fatalf("week %d hidden records differ", i+1)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package experiment orchestrates the paper's two measurement campaigns
+// over a simulated world: the six-week usage-dynamics study (§IV) and the
+// residual-resolution-in-the-wild study (§V). The cmd/ binaries and the
+// benchmark harness drive these runners to regenerate every table and
+// figure.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"rrdps/internal/alexa"
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/collect"
+	"rrdps/internal/core/htmlverify"
+	"rrdps/internal/core/match"
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+	"rrdps/internal/netsim"
+	"rrdps/internal/world"
+)
+
+// AdoptionBreakdown aggregates one day's classification into the Fig. 2
+// numbers.
+type AdoptionBreakdown struct {
+	Day int
+	// ByProvider counts adopters (ON or OFF, shared-IP suspects excluded)
+	// per provider.
+	ByProvider map[dps.ProviderKey]int
+	// Total is the number of adopters.
+	Total int
+	// Population is the number of classified domains.
+	Population int
+	// TopAdopters / TopPopulation restrict to the top rank bucket (the
+	// paper's top-10k equivalent).
+	TopAdopters   int
+	TopPopulation int
+	// CloudflareNS / CloudflareCNAME split Cloudflare adopters by
+	// rerouting (Fig. 6).
+	CloudflareNS    int
+	CloudflareCNAME int
+}
+
+// UnchangedRow is one provider's Table V row.
+type UnchangedRow struct {
+	Provider    dps.ProviderKey
+	JoinResume  int
+	IPUnchanged int
+}
+
+// DynamicsResult carries everything the §IV experiments report.
+type DynamicsResult struct {
+	Days int
+	// Daily adoption breakdowns (Fig. 2 averages over these).
+	Breakdowns []AdoptionBreakdown
+	// Detections and pause windows from the behaviour tracker.
+	Detections   []behavior.Detection
+	PauseWindows []behavior.PauseWindow
+	CountsByDay  map[int]map[behavior.Kind]int
+	// Unchanged is the Table V data, keyed by provider.
+	Unchanged map[dps.ProviderKey]*UnchangedRow
+}
+
+// AvgAdoptionRate returns the mean daily overall adoption rate.
+func (r DynamicsResult) AvgAdoptionRate() float64 {
+	if len(r.Breakdowns) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range r.Breakdowns {
+		if b.Population > 0 {
+			sum += float64(b.Total) / float64(b.Population)
+		}
+	}
+	return sum / float64(len(r.Breakdowns))
+}
+
+// AvgTopAdoptionRate returns the mean daily adoption rate in the top rank
+// bucket.
+func (r DynamicsResult) AvgTopAdoptionRate() float64 {
+	if len(r.Breakdowns) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range r.Breakdowns {
+		if b.TopPopulation > 0 {
+			sum += float64(b.TopAdopters) / float64(b.TopPopulation)
+		}
+	}
+	return sum / float64(len(r.Breakdowns))
+}
+
+// AdoptionGrowth returns the change in overall adoption rate from the
+// first to the last day — the paper observes +1.17% over its six weeks.
+func (r DynamicsResult) AdoptionGrowth() float64 {
+	if len(r.Breakdowns) < 2 {
+		return 0
+	}
+	first, last := r.Breakdowns[0], r.Breakdowns[len(r.Breakdowns)-1]
+	if first.Population == 0 || last.Population == 0 {
+		return 0
+	}
+	return float64(last.Total)/float64(last.Population) - float64(first.Total)/float64(first.Population)
+}
+
+// AvgProviderShare returns provider key's mean share of adopters.
+func (r DynamicsResult) AvgProviderShare(key dps.ProviderKey) float64 {
+	if len(r.Breakdowns) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range r.Breakdowns {
+		if b.Total > 0 {
+			sum += float64(b.ByProvider[key]) / float64(b.Total)
+		}
+	}
+	return sum / float64(len(r.Breakdowns))
+}
+
+// AvgPerDay returns the mean daily count of a behaviour kind.
+func (r DynamicsResult) AvgPerDay(kind behavior.Kind) float64 {
+	if r.Days <= 1 {
+		return 0
+	}
+	total := 0
+	for _, counts := range r.CountsByDay {
+		total += counts[kind]
+	}
+	// Behaviours are detected from day 1 on (day 0 is the baseline).
+	return float64(total) / float64(r.Days-1)
+}
+
+// TotalUnchangedRate returns Table V's bottom-line unchanged percentage.
+func (r DynamicsResult) TotalUnchangedRate() (joinResume, unchanged int, rate float64) {
+	for _, row := range r.Unchanged {
+		joinResume += row.JoinResume
+		unchanged += row.IPUnchanged
+	}
+	if joinResume > 0 {
+		rate = float64(unchanged) / float64(joinResume)
+	}
+	return joinResume, unchanged, rate
+}
+
+// Dynamics runs the §IV usage-dynamics campaign: days daily snapshots with
+// classification, behaviour tracking, and the Table V JOIN/RESUME HTML
+// verification.
+type Dynamics struct {
+	World *world.World
+	Days  int
+	// Vantage is the collector's region. Defaults to Oregon.
+	Vantage netsim.Region
+	// Excluded lists extra domains to skip.
+	Excluded []dnsmsg.Name
+	// KeepMultiCDN disables the automatic exclusion of detected multi-CDN
+	// front-end customers (see DetectMultiCDN). The paper excludes them
+	// (§IV-B.3); keep them only to demonstrate the SWITCH noise they add.
+	KeepMultiCDN bool
+	// LongIntervalProb makes some snapshot gaps two days instead of one,
+	// modelling the paper's uneven 20-30h experiment intervals. Longer
+	// gaps aggregate more behaviours into one diff — the spike
+	// synchronization the paper observes in Fig. 3 — and can compress
+	// reversed pairs (a PAUSE and RESUME inside one gap cancel out).
+	LongIntervalProb float64
+	// Rand drives interval jitter; required when LongIntervalProb > 0.
+	Rand *rand.Rand
+}
+
+// _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
+// chains; the paper names Cedexis as the canonical example.
+var _multiCDNSubstrings = []string{"cedexis"}
+
+// DetectMultiCDN returns the apexes whose CNAME chains run through a
+// multi-CDN front-end in the given snapshot.
+func DetectMultiCDN(snap collect.Snapshot) []dnsmsg.Name {
+	var out []dnsmsg.Name
+	for apex, rec := range snap.Records {
+		for _, target := range rec.CNAMEs {
+			for _, sub := range _multiCDNSubstrings {
+				if target.ContainsSubstring(sub) {
+					out = append(out, apex)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the campaign. The world's clock advances Days days.
+func (d Dynamics) Run() DynamicsResult {
+	if d.World == nil || d.Days <= 0 {
+		panic("experiment: Dynamics requires World and positive Days")
+	}
+	vantage := d.Vantage
+	if vantage == 0 {
+		vantage = netsim.RegionOregon
+	}
+	w := d.World
+	resolver := w.NewResolver(vantage)
+	domains := make([]alexa.Domain, 0, len(w.Sites()))
+	for _, s := range w.Sites() {
+		domains = append(domains, s.Domain())
+	}
+	collector := collect.New(resolver, domains)
+	matcher := match.New(w.Registry, dps.Profiles())
+	classifier := status.New(matcher)
+	var tracker *behavior.Tracker // built after the first snapshot (multi-CDN detection)
+	verifier := htmlverify.New(w.NewHTTPClient(vantage))
+	topCut := len(domains) / 100
+	if topCut < 1 {
+		topCut = 1
+	}
+
+	res := DynamicsResult{Days: d.Days, Unchanged: make(map[dps.ProviderKey]*UnchangedRow)}
+	var prevSnap collect.Snapshot
+
+	for day := 0; day < d.Days; day++ {
+		snap := collector.Collect(day)
+		classified := classifier.ClassifySnapshot(snap)
+
+		if tracker == nil {
+			excluded := append([]dnsmsg.Name(nil), d.Excluded...)
+			if !d.KeepMultiCDN {
+				excluded = append(excluded, DetectMultiCDN(snap)...)
+			}
+			tracker = behavior.NewTracker(excluded)
+		}
+		res.Breakdowns = append(res.Breakdowns, breakdown(day, snap, classified, topCut))
+
+		detections := tracker.Observe(day, validAdoptions(snap, classified))
+		// Table V: verify origin-IP hygiene for JOIN and RESUME (§IV-C.3
+		// explicitly excludes SWITCH).
+		for _, det := range detections {
+			if det.Kind != behavior.Join && det.Kind != behavior.Resume {
+				continue
+			}
+			d.verifyUnchanged(&res, verifier, prevSnap, snap, det)
+		}
+
+		prevSnap = snap
+		w.AdvanceDay()
+		if d.LongIntervalProb > 0 && d.Rand.Float64() < d.LongIntervalProb {
+			// A long (2-day) gap before the next snapshot.
+			w.AdvanceDay()
+		}
+	}
+
+	res.Detections = tracker.Detections()
+	res.PauseWindows = tracker.PauseWindows()
+	res.CountsByDay = tracker.CountsByDay()
+	return res
+}
+
+// validAdoptions drops records whose resolution failed — in full OR in
+// part — so transient failures cannot read as behaviours (a lost A answer
+// would demote ON to NONE and fabricate a LEAVE; a lost NS answer would
+// demote OFF to NONE), and skips footnote-6 shared-IP suspects.
+func validAdoptions(snap collect.Snapshot, classified map[dnsmsg.Name]status.Adoption) map[dnsmsg.Name]status.Adoption {
+	out := make(map[dnsmsg.Name]status.Adoption, len(classified))
+	for apex, adoption := range classified {
+		rec := snap.Records[apex]
+		if !rec.ResolveOK || !rec.NSOK {
+			continue
+		}
+		if adoption.SharedIPSuspect {
+			continue
+		}
+		out[apex] = adoption
+	}
+	return out
+}
+
+func breakdown(day int, snap collect.Snapshot, classified map[dnsmsg.Name]status.Adoption, topCut int) AdoptionBreakdown {
+	b := AdoptionBreakdown{Day: day, ByProvider: make(map[dps.ProviderKey]int)}
+	for apex, adoption := range classified {
+		rec := snap.Records[apex]
+		b.Population++
+		if rec.Domain.Rank <= topCut {
+			b.TopPopulation++
+		}
+		if adoption.Status == status.StatusNone || adoption.SharedIPSuspect {
+			continue
+		}
+		b.Total++
+		b.ByProvider[adoption.Provider]++
+		if rec.Domain.Rank <= topCut {
+			b.TopAdopters++
+		}
+		if adoption.Provider == dps.Cloudflare {
+			switch adoption.Rerouting {
+			case dps.ReroutingNS:
+				b.CloudflareNS++
+			case dps.ReroutingCNAME:
+				b.CloudflareCNAME++
+			}
+		}
+	}
+	return b
+}
+
+// verifyUnchanged implements the §IV-C.3 three-step IP1/IP2 procedure.
+func (d Dynamics) verifyUnchanged(res *DynamicsResult, verifier *htmlverify.Verifier, prev, cur collect.Snapshot, det behavior.Detection) {
+	if prev.Records == nil {
+		return
+	}
+	provider := det.To
+	row := res.Unchanged[provider]
+	if row == nil {
+		row = &UnchangedRow{Provider: provider}
+		res.Unchanged[provider] = row
+	}
+
+	// IP1: the origin address observed before the action. For JOIN that is
+	// the pre-join A record; for RESUME, the OFF-period A record (origin).
+	prevRec, ok := prev.Records[det.Apex]
+	if !ok || len(prevRec.Addrs) == 0 {
+		return
+	}
+	ip1 := prevRec.Addrs[0]
+
+	// IP2: the addresses answered after the action — DPS edges.
+	curRec, ok := cur.Records[det.Apex]
+	if !ok || len(curRec.Addrs) == 0 {
+		return
+	}
+	ip2 := curRec.Addrs[0]
+
+	row.JoinResume++
+	if verifySame(verifier, det.Apex, ip2, ip1) {
+		row.IPUnchanged++
+	}
+}
+
+func verifySame(verifier *htmlverify.Verifier, apex dnsmsg.Name, ip2, ip1 netip.Addr) bool {
+	return verifier.Verify(apex.Child("www"), ip2, ip1).Match
+}
+
+// String renders a one-line summary for logs.
+func (r DynamicsResult) String() string {
+	jr, un, rate := r.TotalUnchangedRate()
+	return fmt.Sprintf("dynamics: %d days, %d detections, %d pause windows, unchanged %d/%d (%.1f%%)",
+		r.Days, len(r.Detections), len(r.PauseWindows), un, jr, rate*100)
+}

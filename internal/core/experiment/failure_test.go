@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"testing"
+
+	"rrdps/internal/world"
+)
+
+// TestPacketLossDoesNotFabricateBehaviours injects datagram loss into the
+// fabric and freezes all churn: any detected behaviour is then a false
+// positive manufactured by resolution failures. The carry-forward rule in
+// the tracker (a SERVFAIL day must not read as LEAVE) is what this guards.
+func TestPacketLossDoesNotFabricateBehaviours(t *testing.T) {
+	cfg := world.PaperConfig(600)
+	cfg.Seed = 401
+	cfg.JoinRate = 0
+	cfg.LeaveRate = 0
+	cfg.PauseRate = 0
+	cfg.SwitchRate = 0
+	cfg.UnprotectedIPChangeRate = 0
+	cfg.PacketLossRate = 0.03
+	w := world.New(cfg)
+
+	res := Dynamics{World: w, Days: 8}.Run()
+	if len(res.Detections) != 0 {
+		t.Fatalf("packet loss fabricated %d behaviours: %+v", len(res.Detections), res.Detections)
+	}
+}
+
+// TestPacketLossDegradesButDoesNotBreakResidualScan: the §V campaign under
+// loss still finds a subset of the lossless campaign's hidden records and
+// never invents extra verified origins.
+func TestPacketLossResidualScanSubset(t *testing.T) {
+	clean := countermeasureConfig(403)
+	cleanRes := Residual{World: world.New(clean), Weeks: 2, WarmupDays: 21}.Run()
+	cleanHidden, _ := cleanRes.TotalHidden()
+	if cleanHidden == 0 {
+		t.Fatal("lossless baseline found nothing")
+	}
+
+	lossy := countermeasureConfig(403)
+	lossy.PacketLossRate = 0.02
+	lossyRes := Residual{World: world.New(lossy), Weeks: 2, WarmupDays: 21}.Run()
+	lossyHidden, _ := lossyRes.TotalHidden()
+	lossyVerified, _ := lossyRes.TotalVerified()
+
+	if lossyVerified > lossyHidden {
+		t.Fatalf("verified %d > hidden %d under loss", lossyVerified, lossyHidden)
+	}
+	// Loss can only suppress scan answers and verifications, not invent
+	// them wholesale; allow broad slack since the worlds churn identically
+	// by seed.
+	if lossyHidden > cleanHidden*2+4 {
+		t.Fatalf("lossy scan found %d hidden vs %d clean", lossyHidden, cleanHidden)
+	}
+}

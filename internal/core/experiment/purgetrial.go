@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+	"rrdps/internal/netsim"
+	"rrdps/internal/website"
+	"rrdps/internal/world"
+)
+
+// PurgeTrial replicates the paper's controlled experiment (§V-A.3): sign a
+// test website up for a provider's DPS, terminate the service the same
+// day, and then probe the provider's nameservers weekly until the residual
+// record disappears. The paper ran it three times against Cloudflare's
+// free plan and observed the record purged at the fourth week each time.
+type PurgeTrial struct {
+	World    *world.World
+	Provider dps.ProviderKey
+	Plan     dps.Plan
+	// MaxWeeks bounds the probing. Default 12.
+	MaxWeeks int
+}
+
+// Trial errors.
+var (
+	ErrNoTestSite  = errors.New("experiment: no unprotected site available for the trial")
+	ErrNeverPurged = errors.New("experiment: residual record survived the probing window")
+)
+
+// Run executes the trial and returns the week (1-based) at which the
+// residual record disappeared. The world's clock advances as probing goes.
+func (t PurgeTrial) Run() (int, error) {
+	if t.World == nil {
+		panic("experiment: PurgeTrial requires World")
+	}
+	w := t.World
+	provider, ok := w.Provider(t.Provider)
+	if !ok {
+		return 0, fmt.Errorf("purge trial: unknown provider %q", t.Provider)
+	}
+
+	site, err := t.pickTestSite()
+	if err != nil {
+		return 0, err
+	}
+	apex := site.Domain().Apex
+
+	profile := provider.Profile()
+	method := profile.Methods[0]
+	switch {
+	case profile.Supports(dps.ReroutingNS):
+		method = dps.ReroutingNS
+	case profile.Supports(dps.ReroutingCNAME):
+		method = dps.ReroutingCNAME
+	}
+	if err := site.Join(t.Provider, method, t.Plan); err != nil {
+		return 0, fmt.Errorf("purge trial: %w", err)
+	}
+	// Capture what the prober needs before terminating.
+	customer, _ := provider.Customer(apex)
+	if err := site.Leave(true); err != nil {
+		return 0, fmt.Errorf("purge trial: %w", err)
+	}
+
+	client := dnsresolver.NewClient(w.Net, w.Alloc.NextAddr(), netsim.RegionOregon,
+		rand.New(rand.NewSource(4242)))
+
+	maxWeeks := t.MaxWeeks
+	if maxWeeks == 0 {
+		maxWeeks = 12
+	}
+	for week := 1; week <= maxWeeks; week++ {
+		w.AdvanceDays(7)
+		if !t.residualAnswers(client, provider, method, apex, customer.CNAMETarget) {
+			return week, nil
+		}
+	}
+	return 0, ErrNeverPurged
+}
+
+// pickTestSite returns the first unprotected, non-multi-CDN site.
+func (t PurgeTrial) pickTestSite() (*website.Site, error) {
+	multiCDN := make(map[dnsmsg.Name]bool)
+	for _, apex := range t.World.MultiCDNDomains() {
+		multiCDN[apex] = true
+	}
+	for _, s := range t.World.Sites() {
+		if key, _, _ := s.Provider(); key == "" && !multiCDN[s.Domain().Apex] {
+			return s, nil
+		}
+	}
+	return nil, ErrNoTestSite
+}
+
+// residualAnswers probes whether the provider still answers for the
+// terminated customer.
+func (t PurgeTrial) residualAnswers(client *dnsresolver.Client, provider *dps.Provider, method dps.Rerouting, apex, cnameTarget dnsmsg.Name) bool {
+	switch method {
+	case dps.ReroutingNS:
+		pool := provider.NSPool()
+		if len(pool) == 0 {
+			return false
+		}
+		addr, _ := provider.NSPoolAddr(pool[0])
+		resp, err := client.Exchange(addr, apex.Child("www"), dnsmsg.TypeA)
+		return err == nil && len(resp.AnswersOfType(dnsmsg.TypeA)) > 0
+	default:
+		for _, nsAddr := range provider.InfraNS() {
+			resp, err := client.Exchange(nsAddr, cnameTarget, dnsmsg.TypeA)
+			return err == nil && resp.Header.RCode == dnsmsg.RCodeNoError &&
+				len(resp.AnswersOfType(dnsmsg.TypeA)) > 0
+		}
+		return false
+	}
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"rrdps/internal/dps"
+	"rrdps/internal/world"
+)
+
+func purgeTrialWorld(seed int64) *world.World {
+	cfg := world.PaperConfig(200)
+	cfg.Seed = seed
+	// Freeze churn: the trial controls its own site.
+	cfg.JoinRate, cfg.LeaveRate, cfg.PauseRate, cfg.SwitchRate = 0, 0, 0, 0
+	cfg.UnprotectedIPChangeRate = 0
+	return world.New(cfg)
+}
+
+// TestPurgeTrialFreePlanFourWeeks reproduces the paper's §V-A.3 trial: the
+// free-plan residual record disappears at the fourth week. The paper ran
+// it three times; so do we.
+func TestPurgeTrialFreePlanFourWeeks(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		w := purgeTrialWorld(int64(601 + trial))
+		week, err := PurgeTrial{World: w, Provider: dps.Cloudflare, Plan: dps.PlanFree}.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if week != 4 {
+			t.Fatalf("trial %d: purged at week %d, want 4 (28-day free-plan delay)", trial, week)
+		}
+	}
+}
+
+// TestPurgeTrialPaidPlanLater: the paper speculates longer exposures come
+// from non-free plans; the paid plan's record survives past week 4.
+func TestPurgeTrialPaidPlanLater(t *testing.T) {
+	w := purgeTrialWorld(611)
+	week, err := PurgeTrial{World: w, Provider: dps.Cloudflare, Plan: dps.PlanPaid}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if week <= 4 {
+		t.Fatalf("paid-plan record purged at week %d, want later than free plan", week)
+	}
+}
+
+// TestPurgeTrialIncapsulaCNAME runs the trial against the CNAME-rerouting
+// provider.
+func TestPurgeTrialIncapsulaCNAME(t *testing.T) {
+	w := purgeTrialWorld(613)
+	week, err := PurgeTrial{World: w, Provider: dps.Incapsula, Plan: dps.PlanFree}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if week != 4 {
+		t.Fatalf("incapsula purge at week %d, want 4", week)
+	}
+}
+
+// TestPurgeTrialCleanProviderImmediate: a clean-policy provider never has
+// a residual record, so week 1's probe already finds nothing.
+func TestPurgeTrialCleanProviderImmediate(t *testing.T) {
+	w := purgeTrialWorld(617)
+	week, err := PurgeTrial{World: w, Provider: dps.Fastly, Plan: dps.PlanFree}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if week != 1 {
+		t.Fatalf("clean provider probe week = %d, want 1", week)
+	}
+}
+
+// TestPurgeTrialNeverPurged: bounding MaxWeeks below the purge delay
+// yields ErrNeverPurged.
+func TestPurgeTrialNeverPurged(t *testing.T) {
+	w := purgeTrialWorld(619)
+	_, err := PurgeTrial{World: w, Provider: dps.Cloudflare, Plan: dps.PlanPaid, MaxWeeks: 2}.Run()
+	if !errors.Is(err, ErrNeverPurged) {
+		t.Fatalf("err = %v, want ErrNeverPurged", err)
+	}
+}
+
+func TestPurgeTrialUnknownProvider(t *testing.T) {
+	w := purgeTrialWorld(621)
+	if _, err := (PurgeTrial{World: w, Provider: "nonesuch", Plan: dps.PlanFree}).Run(); err == nil {
+		t.Fatal("unknown provider succeeded")
+	}
+}

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"net/netip"
+
+	"rrdps/internal/alexa"
+	"rrdps/internal/core/collect"
+	"rrdps/internal/core/exposure"
+	"rrdps/internal/core/filter"
+	"rrdps/internal/core/htmlverify"
+	"rrdps/internal/core/match"
+	"rrdps/internal/core/rrscan"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+	"rrdps/internal/netsim"
+	"rrdps/internal/world"
+)
+
+// WeeklyReport is one week's filtering result for one provider.
+type WeeklyReport struct {
+	Week   int
+	Report filter.Report
+}
+
+// ResidualResult carries the §V campaign outputs: the per-week Table VI
+// rows and Fig. 9 exposure timelines for both case studies.
+type ResidualResult struct {
+	// Weeks is the number of weekly scans performed.
+	Weeks int
+	// Cloudflare / Incapsula hold per-week reports.
+	Cloudflare []WeeklyReport
+	Incapsula  []WeeklyReport
+	// CFExposure / IncExposure are the week-over-week trackers.
+	CFExposure  *exposure.Tracker
+	IncExposure *exposure.Tracker
+	// NameserverCount is how many Cloudflare NS-rerouting nameservers the
+	// scan discovered (the paper's 391).
+	NameserverCount int
+}
+
+// Residual runs the §V residual-resolution campaign over a world:
+// daily world advancement with periodic collection, plus weekly direct
+// scans of Cloudflare's nameservers (6 weeks in the paper) and weekly
+// re-resolution of Incapsula CNAMEs (3 weeks in the paper, here aligned to
+// the same weekly cadence).
+type Residual struct {
+	World *world.World
+	// Weeks is the number of weekly scan rounds.
+	Weeks int
+	// IncapsulaStartWeek delays the Incapsula tracking (the paper's
+	// Incapsula study covers the last three weeks). Zero starts at once.
+	IncapsulaStartWeek int
+	// WarmupDays advances the world before the first scan so the
+	// population carries history (terminated customers, stale records),
+	// as the real Internet does. Snapshots are still collected weekly
+	// during warm-up so the CNAME library sees pre-scan customers.
+	WarmupDays int
+	// ProviderAudit enables the §VI-B.1 provider-side countermeasure:
+	// every week Cloudflare and Incapsula audit their terminated
+	// customers against public resolution and purge mismatches.
+	ProviderAudit bool
+}
+
+// Run executes the campaign. The world's clock advances Weeks*7 days.
+func (r Residual) Run() ResidualResult {
+	if r.World == nil || r.Weeks <= 0 {
+		panic("experiment: Residual requires World and positive Weeks")
+	}
+	w := r.World
+
+	resolver := w.NewResolver(netsim.RegionOregon)
+	domains := make([]alexa.Domain, 0, len(w.Sites()))
+	for _, s := range w.Sites() {
+		domains = append(domains, s.Domain())
+	}
+	collector := collect.New(resolver, domains)
+	matcher := match.New(w.Registry, dps.Profiles())
+	verifier := htmlverify.New(w.NewHTTPClient(netsim.RegionOregon))
+	pipeline := filter.New(matcher, resolver, verifier)
+
+	var vantage []*dnsresolver.Client
+	for _, region := range netsim.VantageRegions() {
+		vantage = append(vantage, w.NewResolver(region).Client())
+	}
+	scanner := rrscan.NewScanner(vantage)
+	cnameLib := rrscan.NewCNAMELibrary(dps.Incapsula, matcher)
+
+	res := ResidualResult{
+		Weeks:       r.Weeks,
+		CFExposure:  exposure.NewTracker(),
+		IncExposure: exposure.NewTracker(),
+	}
+
+	cfProfile, _ := dps.ProfileFor(dps.Cloudflare)
+
+	// Warm-up: age the world so the first scan already sees residue, and
+	// feed the CNAME library weekly along the way.
+	for remaining := r.WarmupDays; remaining > 0; {
+		cnameLib.AddSnapshot(collector.Collect(w.Day()))
+		step := 7
+		if remaining < step {
+			step = remaining
+		}
+		w.AdvanceDays(step)
+		remaining -= step
+	}
+
+	auditLookup := func(name dnsmsg.Name) []netip.Addr {
+		res, err := resolver.Resolve(name, dnsmsg.TypeA)
+		if err != nil {
+			return nil
+		}
+		return res.Addrs()
+	}
+
+	for week := 1; week <= r.Weeks; week++ {
+		if r.ProviderAudit {
+			resolver.PurgeCache()
+			for _, key := range []dps.ProviderKey{dps.Cloudflare, dps.Incapsula} {
+				if p, ok := w.Provider(key); ok {
+					p.AuditTerminated(auditLookup)
+				}
+			}
+		}
+		// Collect a fresh snapshot at the start of the week; it feeds
+		// nameserver discovery and the Incapsula CNAME library.
+		snap := collector.Collect(w.Day())
+		cnameLib.AddSnapshot(snap)
+
+		nsHosts, nsAddrs := rrscan.DiscoverNameservers([]collect.Snapshot{snap}, cfProfile, resolver)
+		if len(nsHosts) > res.NameserverCount {
+			res.NameserverCount = len(nsHosts)
+		}
+
+		// Cloudflare case study: direct scan of all domains.
+		scanned := scanner.ScanDirect(nsAddrs, domains)
+		resolver.PurgeCache()
+		cfReport := pipeline.Run(dps.Cloudflare, scanned)
+		res.Cloudflare = append(res.Cloudflare, WeeklyReport{Week: week, Report: cfReport})
+		res.CFExposure.AddWeek(week, cfReport)
+
+		// Incapsula case study: re-resolve the CNAME library.
+		if week > r.IncapsulaStartWeek {
+			incScanned := cnameLib.ResolveAll(resolver)
+			incReport := pipeline.Run(dps.Incapsula, incScanned)
+			res.Incapsula = append(res.Incapsula, WeeklyReport{Week: week, Report: incReport})
+			res.IncExposure.AddWeek(week, incReport)
+		}
+
+		// A week of usage dynamics between scans.
+		w.AdvanceDays(7)
+	}
+	return res
+}
+
+// TotalHidden returns the distinct hidden-record counts (Table VI totals).
+func (r ResidualResult) TotalHidden() (cloudflare, incapsula int) {
+	return r.CFExposure.TotalHidden(), r.IncExposure.TotalHidden()
+}
+
+// TotalVerified returns the distinct verified-origin counts.
+func (r ResidualResult) TotalVerified() (cloudflare, incapsula int) {
+	return r.CFExposure.TotalVerified(), r.IncExposure.TotalVerified()
+}
+
+// String renders a one-line summary.
+func (r ResidualResult) String() string {
+	ch, ih := r.TotalHidden()
+	cv, iv := r.TotalVerified()
+	return fmt.Sprintf("residual: %d weeks, cloudflare %d hidden/%d verified, incapsula %d hidden/%d verified",
+		r.Weeks, ch, cv, ih, iv)
+}

@@ -1,0 +1,172 @@
+// Package filter implements the Fig. 8 filtering procedure that turns raw
+// scan answers into verified origin exposures:
+//
+//	scan answers ──IP-matching filter──▶ A_IP
+//	A_IP ──A-matching filter (vs normal resolution A_nor)──▶ hidden records
+//	hidden records ──HTML verification filter──▶ verified origins
+package filter
+
+import (
+	"net/netip"
+	"sort"
+
+	"rrdps/internal/core/htmlverify"
+	"rrdps/internal/core/match"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+)
+
+// Hidden is one hidden record: an address only retrievable from the DPS
+// nameservers, invisible to normal resolution.
+type Hidden struct {
+	Apex dnsmsg.Name
+	WWW  dnsmsg.Name
+	Addr netip.Addr
+}
+
+// Outcome is a hidden record with its verification verdict.
+type Outcome struct {
+	Hidden
+	// Verified is true when HTML verification confirmed the hidden
+	// address serves the same site as the public view — an exposed
+	// origin.
+	Verified bool
+}
+
+// Report summarizes one filtering pass.
+type Report struct {
+	Provider dps.ProviderKey
+	// Scanned is how many domains had scan answers at all.
+	Scanned int
+	// DroppedByIPFilter counts answers discarded because they point into
+	// the provider's own ranges (protection currently ON there).
+	DroppedByIPFilter int
+	// Hidden are the hidden records (the A_diff set).
+	Hidden []Hidden
+	// Outcomes annotate each hidden record with its verification verdict.
+	Outcomes []Outcome
+}
+
+// VerifiedOrigins returns the outcomes confirmed as origin exposures.
+func (r Report) VerifiedOrigins() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Verified {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// HiddenApexes returns the distinct apexes with hidden records.
+func (r Report) HiddenApexes() []dnsmsg.Name {
+	seen := make(map[dnsmsg.Name]bool)
+	var out []dnsmsg.Name
+	for _, h := range r.Hidden {
+		if !seen[h.Apex] {
+			seen[h.Apex] = true
+			out = append(out, h.Apex)
+		}
+	}
+	return out
+}
+
+// VerifiedApexes returns the distinct apexes with verified exposures.
+func (r Report) VerifiedApexes() []dnsmsg.Name {
+	seen := make(map[dnsmsg.Name]bool)
+	var out []dnsmsg.Name
+	for _, o := range r.Outcomes {
+		if o.Verified && !seen[o.Apex] {
+			seen[o.Apex] = true
+			out = append(out, o.Apex)
+		}
+	}
+	return out
+}
+
+// Pipeline runs the three filters.
+type Pipeline struct {
+	matcher  *match.Matcher
+	resolver *dnsresolver.Resolver
+	verifier *htmlverify.Verifier
+}
+
+// New creates a pipeline. resolver performs the "normal resolutions" of
+// the A-matching filter; verifier performs HTML verification.
+func New(matcher *match.Matcher, resolver *dnsresolver.Resolver, verifier *htmlverify.Verifier) *Pipeline {
+	if matcher == nil || resolver == nil || verifier == nil {
+		panic("filter: matcher, resolver, and verifier are required")
+	}
+	return &Pipeline{matcher: matcher, resolver: resolver, verifier: verifier}
+}
+
+// Run filters one provider's scan answers (apex -> addresses retrieved
+// from the provider's nameservers).
+func (p *Pipeline) Run(provider dps.ProviderKey, scanned map[dnsmsg.Name][]netip.Addr) Report {
+	rep := Report{Provider: provider, Scanned: len(scanned)}
+
+	apexes := make([]dnsmsg.Name, 0, len(scanned))
+	for apex := range scanned {
+		apexes = append(apexes, apex)
+	}
+	sort.Slice(apexes, func(i, j int) bool { return apexes[i] < apexes[j] })
+
+	for _, apex := range apexes {
+		www := apex.Child("www")
+
+		// Stage 1 — IP-matching filter: answers inside the provider's own
+		// ranges mean the site is under this provider's protection right
+		// now; no residual resolution there.
+		var aIP []netip.Addr
+		for _, addr := range scanned[apex] {
+			if p.matcher.InProviderRanges(provider, addr) {
+				rep.DroppedByIPFilter++
+				continue
+			}
+			aIP = append(aIP, addr)
+		}
+		if len(aIP) == 0 {
+			continue
+		}
+
+		// Stage 2 — A-matching filter: compare against the normal
+		// resolution A_nor; what only the DPS nameservers return is
+		// hidden: A_diff = A_IP − A_nor.
+		aNor, err := p.resolver.Resolve(www, dnsmsg.TypeA)
+		norSet := make(map[netip.Addr]bool)
+		var publicAddr netip.Addr
+		if err == nil {
+			for _, a := range aNor.Addrs() {
+				norSet[a] = true
+				if !publicAddr.IsValid() {
+					publicAddr = a
+				}
+			}
+		}
+		var hidden []Hidden
+		for _, addr := range aIP {
+			if norSet[addr] {
+				continue
+			}
+			hidden = append(hidden, Hidden{Apex: apex, WWW: www, Addr: addr})
+		}
+		if len(hidden) == 0 {
+			continue
+		}
+		rep.Hidden = append(rep.Hidden, hidden...)
+
+		// Stage 3 — HTML verification filter: fetch via the public view
+		// (IP2) and via each hidden address (IP1) and compare pages. With
+		// no public address the record stays unverified (lower bound).
+		for _, h := range hidden {
+			outcome := Outcome{Hidden: h}
+			if publicAddr.IsValid() {
+				res := p.verifier.Verify(www, publicAddr, h.Addr)
+				outcome.Verified = res.Match
+			}
+			rep.Outcomes = append(rep.Outcomes, outcome)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,84 @@
+// Package htmlverify implements the paper's HTML verification (§IV-C.3):
+// fetch a website's landing page twice — once through the address the
+// public DNS view returns (IP2, normally a DPS edge) and once from a
+// candidate origin address (IP1) — and decide whether both are the same
+// host by comparing the page titles and meta tags.
+//
+// The comparison is deliberately strict (exact title and meta equality):
+// dynamically generated meta tags or origins that only answer their DPS
+// provider make real origins fail verification, so the verified count is a
+// lower bound, exactly as the paper cautions.
+package htmlverify
+
+import (
+	"net/netip"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/httpsim"
+)
+
+// Result is one verification outcome.
+type Result struct {
+	// Match is true when both fetches succeeded and the pages agree.
+	Match bool
+	// RefOK / CandOK report whether each fetch returned a 200 page.
+	RefOK  bool
+	CandOK bool
+	// Reference and Candidate are the parsed pages (zero when the fetch
+	// failed).
+	Reference httpsim.Page
+	Candidate httpsim.Page
+}
+
+// Verifier compares landing pages.
+type Verifier struct {
+	client *httpsim.Client
+}
+
+// New creates a verifier fetching through client.
+func New(client *httpsim.Client) *Verifier {
+	if client == nil {
+		panic("htmlverify: client is required")
+	}
+	return &Verifier{client: client}
+}
+
+// Verify fetches host's landing page from refAddr and candAddr and
+// compares them.
+func (v *Verifier) Verify(host dnsmsg.Name, refAddr, candAddr netip.Addr) Result {
+	var res Result
+	res.Reference, res.RefOK = v.fetch(host, refAddr)
+	if !res.RefOK {
+		return res
+	}
+	res.Candidate, res.CandOK = v.fetch(host, candAddr)
+	if !res.CandOK {
+		return res
+	}
+	res.Match = SamePage(res.Reference, res.Candidate)
+	return res
+}
+
+func (v *Verifier) fetch(host dnsmsg.Name, addr netip.Addr) (httpsim.Page, bool) {
+	resp, err := v.client.Get(addr, string(host), "/")
+	if err != nil || resp.StatusCode != 200 {
+		return httpsim.Page{}, false
+	}
+	return httpsim.ParsePage(resp.Body), true
+}
+
+// SamePage reports whether two pages agree on title and every meta tag.
+func SamePage(a, b httpsim.Page) bool {
+	if a.Title != b.Title {
+		return false
+	}
+	if len(a.Meta) != len(b.Meta) {
+		return false
+	}
+	for k, v := range a.Meta {
+		if b.Meta[k] != v {
+			return false
+		}
+	}
+	return true
+}

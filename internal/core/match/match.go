@@ -1,0 +1,120 @@
+// Package match implements the paper's A/CNAME/NS matching (§IV-B.2): the
+// primitives that attribute observed DNS records to DPS providers using AS
+// IP ranges (A-matching) and the Table II unique substrings (CNAME- and
+// NS-matching).
+package match
+
+import (
+	"net/netip"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+	"rrdps/internal/ipspace"
+)
+
+// Matcher attributes records to providers.
+type Matcher struct {
+	registry *ipspace.Registry
+	profiles []dps.Profile
+	byASN    map[ipspace.ASN]dps.ProviderKey
+}
+
+// New creates a matcher over the registry (the RouteViews stand-in) and
+// the Table II profiles.
+func New(registry *ipspace.Registry, profiles []dps.Profile) *Matcher {
+	if registry == nil {
+		panic("match: registry is required")
+	}
+	m := &Matcher{
+		registry: registry,
+		profiles: append([]dps.Profile(nil), profiles...),
+		byASN:    make(map[ipspace.ASN]dps.ProviderKey),
+	}
+	for _, p := range m.profiles {
+		for _, asn := range p.ASNs {
+			m.byASN[asn] = p.Key
+		}
+	}
+	return m
+}
+
+// MatchA returns the provider whose announced IP ranges contain addr.
+func (m *Matcher) MatchA(addr netip.Addr) (dps.ProviderKey, bool) {
+	asn, ok := m.registry.ASNFor(addr)
+	if !ok {
+		return "", false
+	}
+	key, ok := m.byASN[asn]
+	return key, ok
+}
+
+// MatchAnyA returns the first provider matching any of addrs.
+func (m *Matcher) MatchAnyA(addrs []netip.Addr) (dps.ProviderKey, bool) {
+	for _, a := range addrs {
+		if key, ok := m.MatchA(a); ok {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// MatchCNAME returns the provider whose CNAME substrings occur in name.
+func (m *Matcher) MatchCNAME(name dnsmsg.Name) (dps.ProviderKey, bool) {
+	for _, p := range m.profiles {
+		for _, sub := range p.CNAMESubstrings {
+			if name.ContainsSubstring(sub) {
+				return p.Key, true
+			}
+		}
+	}
+	return "", false
+}
+
+// MatchAnyCNAME returns the first provider matching any chain target.
+func (m *Matcher) MatchAnyCNAME(names []dnsmsg.Name) (dps.ProviderKey, bool) {
+	for _, n := range names {
+		if key, ok := m.MatchCNAME(n); ok {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// MatchNS returns the provider whose NS substrings occur in host.
+func (m *Matcher) MatchNS(host dnsmsg.Name) (dps.ProviderKey, bool) {
+	for _, p := range m.profiles {
+		for _, sub := range p.NSSubstrings {
+			if host.ContainsSubstring(sub) {
+				return p.Key, true
+			}
+		}
+	}
+	return "", false
+}
+
+// MatchAnyNS returns the first provider matching any NS host.
+func (m *Matcher) MatchAnyNS(hosts []dnsmsg.Name) (dps.ProviderKey, bool) {
+	for _, h := range hosts {
+		if key, ok := m.MatchNS(h); ok {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// Profile returns the matcher's profile for key.
+func (m *Matcher) Profile(key dps.ProviderKey) (dps.Profile, bool) {
+	for _, p := range m.profiles {
+		if p.Key == key {
+			return p, true
+		}
+	}
+	return dps.Profile{}, false
+}
+
+// InProviderRanges reports whether addr belongs to the specific provider's
+// announced space — the IP-matching filter primitive of Fig. 8.
+func (m *Matcher) InProviderRanges(key dps.ProviderKey, addr netip.Addr) bool {
+	got, ok := m.MatchA(addr)
+	return ok && got == key
+}

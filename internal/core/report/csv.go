@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/dps"
+)
+
+// The CSV renderers emit the figures' raw series for external plotting —
+// one line per point, header first, RFC-4180-plain (no quoting needed for
+// this data).
+
+// Figure2CSV emits provider,share_pct rows.
+func Figure2CSV(res experiment.DynamicsResult) string {
+	var b strings.Builder
+	b.WriteString("provider,share_pct\n")
+	for _, key := range dps.AllKeys() {
+		share := res.AvgProviderShare(key)
+		if share == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s,%.4f\n", key, share*100)
+	}
+	return b.String()
+}
+
+// Figure3CSV emits day,join,leave,pause,resume,switch rows.
+func Figure3CSV(res experiment.DynamicsResult) string {
+	var b strings.Builder
+	b.WriteString("day,join,leave,pause,resume,switch\n")
+	days := make([]int, 0, len(res.CountsByDay))
+	for d := range res.CountsByDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		c := res.CountsByDay[d]
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d\n",
+			d, c[behavior.Join], c[behavior.Leave], c[behavior.Pause],
+			c[behavior.Resume], c[behavior.Switch])
+	}
+	return b.String()
+}
+
+// Figure5CSV emits days,overall,cloudflare,incapsula CDF rows at each
+// distinct overall step.
+func Figure5CSV(res experiment.DynamicsResult) string {
+	overall, cf, inc := PauseCDF(res)
+	var b strings.Builder
+	b.WriteString("days,overall,cloudflare,incapsula\n")
+	for _, pt := range overall.Points() {
+		fmt.Fprintf(&b, "%.0f,%.4f,%.4f,%.4f\n", pt.X, pt.P, cf.At(pt.X), inc.At(pt.X))
+	}
+	return b.String()
+}
+
+// TableVCSV emits provider,join_resume,unchanged,pct rows.
+func TableVCSV(res experiment.DynamicsResult) string {
+	var b strings.Builder
+	b.WriteString("provider,join_resume,unchanged,pct\n")
+	for _, key := range dps.AllKeys() {
+		row, ok := res.Unchanged[key]
+		if !ok || row.JoinResume == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f\n", key, row.JoinResume, row.IPUnchanged,
+			100*float64(row.IPUnchanged)/float64(row.JoinResume))
+	}
+	jr, un, rate := res.TotalUnchangedRate()
+	fmt.Fprintf(&b, "total,%d,%d,%.2f\n", jr, un, rate*100)
+	return b.String()
+}
+
+// TableVICSV emits provider,week,hidden,verified rows plus total rows
+// (week 0 denotes the union total).
+func TableVICSV(res experiment.ResidualResult) string {
+	var b strings.Builder
+	b.WriteString("provider,week,hidden,verified\n")
+	for _, wr := range res.Cloudflare {
+		fmt.Fprintf(&b, "cloudflare,%d,%d,%d\n", wr.Week,
+			len(wr.Report.HiddenApexes()), len(wr.Report.VerifiedApexes()))
+	}
+	ch, ih := res.TotalHidden()
+	cv, iv := res.TotalVerified()
+	fmt.Fprintf(&b, "cloudflare,0,%d,%d\n", ch, cv)
+	for _, wr := range res.Incapsula {
+		fmt.Fprintf(&b, "incapsula,%d,%d,%d\n", wr.Week,
+			len(wr.Report.HiddenApexes()), len(wr.Report.VerifiedApexes()))
+	}
+	fmt.Fprintf(&b, "incapsula,0,%d,%d\n", ih, iv)
+	return b.String()
+}
+
+// Figure9CSV emits week,newly_exposed rows followed by summary rows.
+func Figure9CSV(res experiment.ResidualResult) string {
+	tl := res.CFExposure.Timeline()
+	var b strings.Builder
+	b.WriteString("week,newly_exposed\n")
+	for i, n := range tl.NewPerWeek {
+		fmt.Fprintf(&b, "%d,%d\n", i+1, n)
+	}
+	fmt.Fprintf(&b, "always_exposed,%d\n", tl.AlwaysExposed)
+	fmt.Fprintf(&b, "appear_disappear,%d\n", tl.AppearedAndDisappeared)
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func checkCSV(t *testing.T, name, csv string, wantCols int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("%s: too few lines:\n%s", name, csv)
+	}
+	for i, line := range lines {
+		cols := strings.Split(line, ",")
+		if len(cols) != wantCols {
+			t.Fatalf("%s line %d: %d cols, want %d: %q", name, i, len(cols), wantCols, line)
+		}
+		if i == 0 {
+			continue
+		}
+		// Every non-header, non-summary numeric column parses.
+		for _, c := range cols[1:] {
+			if _, err := strconv.ParseFloat(c, 64); err != nil {
+				t.Fatalf("%s line %d: non-numeric %q", name, i, c)
+			}
+		}
+	}
+}
+
+func TestCSVRenderers(t *testing.T) {
+	dyn, res := runCampaigns(t)
+
+	checkCSV(t, "fig2", Figure2CSV(dyn), 2)
+	checkCSV(t, "fig3", Figure3CSV(dyn), 6)
+	checkCSV(t, "fig5", Figure5CSV(dyn), 4)
+	checkCSV(t, "tab5", TableVCSV(dyn), 4)
+	checkCSV(t, "tab6", TableVICSV(res), 4)
+	checkCSV(t, "fig9", Figure9CSV(res), 2)
+
+	if !strings.HasPrefix(Figure3CSV(dyn), "day,join,leave,pause,resume,switch\n") {
+		t.Fatal("fig3 header wrong")
+	}
+	if !strings.Contains(TableVCSV(dyn), "total,") {
+		t.Fatal("tab5 missing total row")
+	}
+	if !strings.Contains(TableVICSV(res), "cloudflare,0,") {
+		t.Fatal("tab6 missing union-total row")
+	}
+}

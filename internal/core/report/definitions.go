@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/status"
+)
+
+// TableIII renders the DPS status definitions.
+func TableIII() string {
+	var b strings.Builder
+	b.WriteString("Table III — DPS status\n")
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Status\tExplanation")
+		fmt.Fprintf(w, "%s\tA record points to a DPS's IP (A-matched)\n", status.StatusOn)
+		fmt.Fprintf(w, "%s\tdomain delegated to a DPS (CNAME-matched, or NS-matched with an NS-hosting provider) but A points to a non-DPS IP — typically the origin\n", status.StatusOff)
+		fmt.Fprintf(w, "%s\tno DPS delegation; A points to a non-DPS IP\n", status.StatusNone)
+	}))
+	return b.String()
+}
+
+// TableIV renders the usage-behaviour definitions (the Fig. 4 FSM's
+// transition alphabet).
+func TableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV — DPS usage behaviours\n")
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Behaviour\tExplanation\tStatus transition")
+		rows := []struct {
+			kind        behavior.Kind
+			explanation string
+			transition  string
+		}{
+			{behavior.Leave, "a domain leaves a DPS's platform", "ON / OFF -> NONE"},
+			{behavior.Join, "a domain joins a DPS's platform", "NONE -> ON"},
+			{behavior.Pause, "a domain pauses protection but stays on the platform", "ON -> OFF"},
+			{behavior.Resume, "a domain resumes paused protection", "OFF -> ON"},
+			{behavior.Switch, "a domain switches from one DPS provider to another", "P1 -> P2"},
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", r.kind, r.explanation, r.transition)
+		}
+	}))
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package report renders the measurement campaign results as the paper's
+// tables and figures (text form): Table II/III/IV metadata, Fig. 2/3/5/6
+// usage-dynamics artifacts, Table V hygiene rates, and the §V Table VI /
+// Fig. 9 residual-resolution results.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/dps"
+	"rrdps/internal/netsim"
+	"rrdps/internal/stats"
+)
+
+func table(fn func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fn(w)
+	w.Flush()
+	return b.String()
+}
+
+// TableII renders the provider-profile table.
+func TableII() string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Provider\tCNAME Substrings\tNS Substrings\tASNs\tRerouting\tTermination")
+		for _, p := range dps.Profiles() {
+			asns := make([]string, len(p.ASNs))
+			for i, a := range p.ASNs {
+				asns[i] = a.String()
+			}
+			methods := make([]string, len(p.Methods))
+			for i, m := range p.Methods {
+				methods[i] = m.String()
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+				p.DisplayName,
+				orDash(strings.Join(p.CNAMESubstrings, " ")),
+				orDash(strings.Join(p.NSSubstrings, " ")),
+				strings.Join(asns, " "),
+				strings.Join(methods, " / "),
+				p.Termination)
+		}
+	})
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Figure2 renders the average per-day DPS adoption breakdown.
+func Figure2(res experiment.DynamicsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2 — DPS adoption breakdown (avg/day over %d days)\n", res.Days)
+	fmt.Fprintf(&b, "overall adoption: %.2f%%   top-bucket adoption: %.2f%%   growth over period: %+.2f%%\n",
+		res.AvgAdoptionRate()*100, res.AvgTopAdoptionRate()*100, res.AdoptionGrowth()*100)
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Provider\tShare of adopters")
+		for _, key := range dps.AllKeys() {
+			share := res.AvgProviderShare(key)
+			if share == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%.2f%%\n", key, share*100)
+		}
+	}))
+	return b.String()
+}
+
+// Figure3 renders the daily behaviour counts.
+func Figure3(res experiment.DynamicsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — daily usage behaviours (%d days)\n", res.Days)
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Day\tJOIN\tLEAVE\tPAUSE\tRESUME\tSWITCH")
+		days := make([]int, 0, len(res.CountsByDay))
+		for d := range res.CountsByDay {
+			days = append(days, d)
+		}
+		sort.Ints(days)
+		for _, d := range days {
+			c := res.CountsByDay[d]
+			fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\n",
+				d, c[behavior.Join], c[behavior.Leave], c[behavior.Pause], c[behavior.Resume], c[behavior.Switch])
+		}
+		fmt.Fprintf(w, "avg/day\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			res.AvgPerDay(behavior.Join), res.AvgPerDay(behavior.Leave),
+			res.AvgPerDay(behavior.Pause), res.AvgPerDay(behavior.Resume),
+			res.AvgPerDay(behavior.Switch))
+	}))
+	return b.String()
+}
+
+// PauseCDF builds the Fig. 5 empirical CDFs: overall and per provider.
+func PauseCDF(res experiment.DynamicsResult) (overall, cloudflare, incapsula *stats.CDF) {
+	var all, cf, inc []float64
+	for _, w := range res.PauseWindows {
+		if !w.Resumed {
+			continue
+		}
+		days := float64(w.Days())
+		all = append(all, days)
+		// Per-provider series include only pauses resumed at the same
+		// provider, as the paper specifies.
+		if w.ResumedAt == w.Provider {
+			switch w.Provider {
+			case dps.Cloudflare:
+				cf = append(cf, days)
+			case dps.Incapsula:
+				inc = append(inc, days)
+			}
+		}
+	}
+	return stats.NewCDF(all), stats.NewCDF(cf), stats.NewCDF(inc)
+}
+
+// Figure5 renders the pause-period CDF.
+func Figure5(res experiment.DynamicsResult) string {
+	overall, cf, inc := PauseCDF(res)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — CDF of pause periods (%d closed windows)\n", overall.Len())
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Days\tOverall\tCloudflare\tIncapsula")
+		for _, d := range []float64{1, 2, 3, 4, 5, 7, 10, 14, 21, 28, 35} {
+			fmt.Fprintf(w, "<=%.0f\t%.2f\t%.2f\t%.2f\n", d, overall.At(d), cf.At(d), inc.At(d))
+		}
+	}))
+	fmt.Fprintf(&b, "pauses longer than 5 days: %.1f%%\n", (1-overall.At(5))*100)
+	return b.String()
+}
+
+// Figure6 renders Cloudflare's rerouting-mechanism breakdown.
+func Figure6(res experiment.DynamicsResult) string {
+	ns, cname := 0, 0
+	for _, bd := range res.Breakdowns {
+		ns += bd.CloudflareNS
+		cname += bd.CloudflareCNAME
+	}
+	total := ns + cname
+	var b strings.Builder
+	b.WriteString("Fig. 6 — Cloudflare adoption breakdown\n")
+	fmt.Fprintf(&b, "NS-based:    %s\n", stats.Percent(ns, total))
+	fmt.Fprintf(&b, "CNAME-based: %s\n", stats.Percent(cname, total))
+	return b.String()
+}
+
+// TableV renders the origin-IP unchanged rates.
+func TableV(res experiment.DynamicsResult) string {
+	var b strings.Builder
+	b.WriteString("Table V — origin IP unchanged rate after JOIN/RESUME\n")
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Provider\tJoin&Resume\tIP Unchanged\tPercentage")
+		for _, key := range dps.AllKeys() {
+			row, ok := res.Unchanged[key]
+			if !ok || row.JoinResume == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\n",
+				key, row.JoinResume, row.IPUnchanged, stats.Percent(row.IPUnchanged, row.JoinResume))
+		}
+		jr, un, rate := res.TotalUnchangedRate()
+		fmt.Fprintf(w, "Total\t%d\t%d\t%.1f%%\n", jr, un, rate*100)
+	}))
+	return b.String()
+}
+
+// TableVI renders the residual-resolution results.
+func TableVI(res experiment.ResidualResult) string {
+	var b strings.Builder
+	b.WriteString("Table VI — residual resolution in the wild\n")
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "\tHidden Records\tVerified Origins\tPercentage")
+		fmt.Fprintln(w, "Cloudflare\t\t\t")
+		for _, wr := range res.Cloudflare {
+			h := len(wr.Report.HiddenApexes())
+			v := len(wr.Report.VerifiedApexes())
+			fmt.Fprintf(w, "Week %d\t%d\t%d\t%s\n", wr.Week, h, v, stats.Percent(v, h))
+		}
+		ch, ih := res.TotalHidden()
+		cv, iv := res.TotalVerified()
+		fmt.Fprintf(w, "Total\t%d\t%d\t%s\n", ch, cv, stats.Percent(cv, ch))
+		fmt.Fprintln(w, "Incapsula\t\t\t")
+		for _, wr := range res.Incapsula {
+			h := len(wr.Report.HiddenApexes())
+			v := len(wr.Report.VerifiedApexes())
+			fmt.Fprintf(w, "Week %d\t%d\t%d\t%s\n", wr.Week, h, v, stats.Percent(v, h))
+		}
+		fmt.Fprintf(w, "Total\t%d\t%d\t%s\n", ih, iv, stats.Percent(iv, ih))
+	}))
+	return b.String()
+}
+
+// Figure9 renders the exposure timeline for the Cloudflare case study.
+func Figure9(res experiment.ResidualResult) string {
+	tl := res.CFExposure.Timeline()
+	var b strings.Builder
+	b.WriteString("Fig. 9 — exposure observations (Cloudflare, verified origins)\n")
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Week\tNewly exposed")
+		for i, n := range tl.NewPerWeek {
+			fmt.Fprintf(w, "%d\t%d\n", i+1, n)
+		}
+	}))
+	fmt.Fprintf(&b, "exposed in every week: %d\n", tl.AlwaysExposed)
+	fmt.Fprintf(&b, "appeared and disappeared within the window: %d\n", tl.AppearedAndDisappeared)
+	if len(tl.Durations) > 0 {
+		hist := stats.NewHistogram(1, res.Weeks)
+		for _, d := range tl.Durations {
+			hist.Add(d)
+		}
+		fmt.Fprintf(&b, "exposure duration histogram (weeks):\n%s", hist.String())
+	}
+	return b.String()
+}
+
+// Figure7 renders per-PoP query counts for one anycast nameserver
+// endpoint — the vantage-point load spreading of Fig. 7.
+func Figure7(counts map[netsim.Region]uint64) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — per-PoP query distribution (one anycast NS endpoint)\n")
+	regions := make([]netsim.Region, 0, len(counts))
+	for r := range counts {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "PoP region\tQueries")
+		for _, r := range regions {
+			fmt.Fprintf(w, "%s\t%d\n", r, counts[r])
+		}
+	}))
+	return b.String()
+}

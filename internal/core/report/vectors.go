@@ -1,0 +1,25 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"rrdps/internal/vectors"
+)
+
+// TableI renders an origin-exposure vector audit (the paper's Table I
+// background, quantified as in Vissers et al. CCS'15).
+func TableI(res vectors.AuditResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — origin-exposure vectors (%d protected sites audited)\n", res.Audited)
+	b.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Vector\tSites exposing true origin")
+		for _, v := range vectors.AllVectors() {
+			fmt.Fprintf(w, "%s\t%d\n", v, res.PerVector[v])
+		}
+	}))
+	fmt.Fprintf(&b, "exposed through >=1 vector: %d/%d (%.0f%%)\n",
+		res.ExposedCount(), res.Audited, res.ExposedRate()*100)
+	return b.String()
+}

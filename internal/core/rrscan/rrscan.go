@@ -1,0 +1,211 @@
+// Package rrscan implements the paper's residual-resolution scanners (§V):
+// direct interrogation of a provider's NS-hosting nameservers for every
+// studied domain (the Cloudflare case study), and re-resolution of
+// previously collected provider CNAMEs (the Incapsula case study), with
+// queries spread across geographically distributed vantage points so the
+// anycast fleet shares the load (Fig. 7).
+package rrscan
+
+import (
+	"net/netip"
+	"sort"
+
+	"rrdps/internal/alexa"
+	"rrdps/internal/core/collect"
+	"rrdps/internal/core/match"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+)
+
+// DiscoverNameservers extracts, from collected snapshots, the hostnames of
+// the provider's NS-hosting nameservers (for Cloudflare: the
+// *.ns.cloudflare.com pool, which the paper finds is exclusive to
+// NS-rerouting customers) and resolves each to an address.
+func DiscoverNameservers(snaps []collect.Snapshot, profile dps.Profile, resolver *dnsresolver.Resolver) (hosts []dnsmsg.Name, addrs []netip.Addr) {
+	seen := make(map[dnsmsg.Name]bool)
+	for _, snap := range snaps {
+		for _, rec := range snap.Records {
+			for _, h := range rec.NSHosts {
+				if seen[h] {
+					continue
+				}
+				for _, sub := range profile.NSSubstrings {
+					if h.ContainsSubstring(sub) {
+						seen[h] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	hosts = make([]dnsmsg.Name, 0, len(seen))
+	for h := range seen {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, h := range hosts {
+		res, err := resolver.Resolve(h, dnsmsg.TypeA)
+		if err != nil {
+			continue
+		}
+		if as := res.Addrs(); len(as) > 0 {
+			addrs = append(addrs, as[0])
+		}
+	}
+	return hosts, addrs
+}
+
+// Scanner issues the direct scans from a set of vantage-point clients.
+type Scanner struct {
+	vantage []*dnsresolver.Client
+	next    int
+}
+
+// NewScanner creates a scanner over the given vantage clients (the paper
+// uses five: Oregon, London, Sydney, Singapore, Tokyo).
+func NewScanner(vantage []*dnsresolver.Client) *Scanner {
+	if len(vantage) == 0 {
+		panic("rrscan: at least one vantage client is required")
+	}
+	return &Scanner{vantage: append([]*dnsresolver.Client(nil), vantage...)}
+}
+
+// ScanDirect queries, for every domain, a provider nameserver for the www
+// subdomain's A records, rotating vantage points and nameserver addresses
+// to spread load. Domains whose queries are ignored (timeout) or refused
+// are absent from the result.
+func (s *Scanner) ScanDirect(nsAddrs []netip.Addr, domains []alexa.Domain) map[dnsmsg.Name][]netip.Addr {
+	if len(nsAddrs) == 0 {
+		return nil
+	}
+	out := make(map[dnsmsg.Name][]netip.Addr)
+	for i, d := range domains {
+		client := s.vantage[s.next%len(s.vantage)]
+		s.next++
+		server := nsAddrs[i%len(nsAddrs)]
+		resp, err := client.Exchange(server, d.WWW(), dnsmsg.TypeA)
+		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
+			continue
+		}
+		var addrs []netip.Addr
+		for _, rr := range resp.AnswersOfType(dnsmsg.TypeA) {
+			addrs = append(addrs, rr.Data.(dnsmsg.AData).Addr)
+		}
+		if len(addrs) > 0 {
+			out[d.Apex] = addrs
+		}
+	}
+	return out
+}
+
+// ScanDirectHosts is ScanDirect generalized beyond the www subdomain: it
+// queries the given hostnames verbatim, keyed by hostname in the result.
+// The paper's limitations section (§V-C) notes its study covers only www
+// while residual resolution is universal across any DPS-served subdomain;
+// this is that generalization.
+func (s *Scanner) ScanDirectHosts(nsAddrs []netip.Addr, hosts []dnsmsg.Name) map[dnsmsg.Name][]netip.Addr {
+	if len(nsAddrs) == 0 {
+		return nil
+	}
+	out := make(map[dnsmsg.Name][]netip.Addr)
+	for i, host := range hosts {
+		client := s.vantage[s.next%len(s.vantage)]
+		s.next++
+		server := nsAddrs[i%len(nsAddrs)]
+		resp, err := client.Exchange(server, host, dnsmsg.TypeA)
+		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
+			continue
+		}
+		var addrs []netip.Addr
+		for _, rr := range resp.AnswersOfType(dnsmsg.TypeA) {
+			addrs = append(addrs, rr.Data.(dnsmsg.AData).Addr)
+		}
+		if len(addrs) > 0 {
+			out[host] = addrs
+		}
+	}
+	return out
+}
+
+// CNAMELibrary accumulates the provider CNAME targets ever observed per
+// domain. The Incapsula scan keeps re-resolving them after the customer
+// has moved on, because the provider deletes or rewrites the CNAME at
+// termination and only a previously collected copy lets an adversary ask
+// (§III-B).
+type CNAMELibrary struct {
+	provider dps.ProviderKey
+	matcher  *match.Matcher
+	targets  map[dnsmsg.Name]map[dnsmsg.Name]bool // apex -> set of targets
+}
+
+// NewCNAMELibrary creates a library for the provider's CNAMEs.
+func NewCNAMELibrary(provider dps.ProviderKey, matcher *match.Matcher) *CNAMELibrary {
+	if matcher == nil {
+		panic("rrscan: matcher is required")
+	}
+	return &CNAMELibrary{
+		provider: provider,
+		matcher:  matcher,
+		targets:  make(map[dnsmsg.Name]map[dnsmsg.Name]bool),
+	}
+}
+
+// AddSnapshot records every CNAME target in the snapshot attributed to the
+// library's provider.
+func (l *CNAMELibrary) AddSnapshot(snap collect.Snapshot) {
+	for apex, rec := range snap.Records {
+		for _, target := range rec.CNAMEs {
+			key, ok := l.matcher.MatchCNAME(target)
+			if !ok || key != l.provider {
+				continue
+			}
+			if l.targets[apex] == nil {
+				l.targets[apex] = make(map[dnsmsg.Name]bool)
+			}
+			l.targets[apex][target] = true
+		}
+	}
+}
+
+// Size returns the number of domains with recorded targets.
+func (l *CNAMELibrary) Size() int { return len(l.targets) }
+
+// Targets returns the recorded targets for apex.
+func (l *CNAMELibrary) Targets(apex dnsmsg.Name) []dnsmsg.Name {
+	set := l.targets[apex]
+	out := make([]dnsmsg.Name, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Apexes returns every domain with recorded targets, sorted.
+func (l *CNAMELibrary) Apexes() []dnsmsg.Name {
+	out := make([]dnsmsg.Name, 0, len(l.targets))
+	for apex := range l.targets {
+		out = append(out, apex)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResolveAll re-resolves every recorded CNAME target and returns the A
+// records obtained per apex. Targets that no longer resolve drop out.
+func (l *CNAMELibrary) ResolveAll(resolver *dnsresolver.Resolver) map[dnsmsg.Name][]netip.Addr {
+	out := make(map[dnsmsg.Name][]netip.Addr)
+	for _, apex := range l.Apexes() {
+		for _, target := range l.Targets(apex) {
+			res, err := resolver.Resolve(target, dnsmsg.TypeA)
+			if err != nil {
+				continue
+			}
+			if addrs := res.Addrs(); len(addrs) > 0 {
+				out[apex] = append(out[apex], addrs...)
+			}
+		}
+	}
+	return out
+}

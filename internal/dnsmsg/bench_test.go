@@ -1,0 +1,45 @@
+package dnsmsg
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	msg := sampleMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	wire := MustEncode(sampleMessage())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeQuery(b *testing.B) {
+	q := NewQuery(1, "www.example.com", TypeA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseName(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseName("WWW.Some-Long-Label.Example.COM."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

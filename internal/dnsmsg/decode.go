@@ -1,0 +1,301 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+)
+
+// Decode errors.
+var (
+	ErrShortMessage  = errors.New("dnsmsg: message truncated")
+	ErrBadPointer    = errors.New("dnsmsg: invalid compression pointer")
+	ErrPointerLoop   = errors.New("dnsmsg: compression pointer loop")
+	ErrTrailingBytes = errors.New("dnsmsg: trailing bytes after message")
+	ErrUnsupportedRR = errors.New("dnsmsg: unsupported record type")
+	ErrRDataLength   = errors.New("dnsmsg: rdata length mismatch")
+)
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+// Decode parses a wire-format DNS message. Records with unsupported types
+// yield ErrUnsupportedRR: the simulated Internet never emits them, so an
+// appearance is a corruption worth surfacing rather than skipping.
+func Decode(b []byte) (*Message, error) {
+	d := &decoder{buf: b}
+	m := &Message{}
+
+	id, err := d.u16()
+	if err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		Opcode:             Opcode((flags >> 11) & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, fmt.Errorf("header counts: %w", err)
+		}
+	}
+
+	for i := 0; i < int(counts[0]); i++ {
+		q, err := d.question()
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	names := []string{"answer", "authority", "additional"}
+	for s, dst := range sections {
+		for i := 0; i < int(counts[s+1]); i++ {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, fmt.Errorf("%s %d: %w", names[s], i, err)
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("%d bytes: %w", len(d.buf)-d.pos, ErrTrailingBytes)
+	}
+	return m, nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.pos+1 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.buf) {
+		return nil, ErrShortMessage
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// name reads a possibly-compressed name starting at the current position.
+func (d *decoder) name() (Name, error) {
+	labels, next, err := readName(d.buf, d.pos)
+	if err != nil {
+		return "", err
+	}
+	d.pos = next
+	joined := strings.Join(labels, ".")
+	return ParseName(joined)
+}
+
+// readName walks labels and compression pointers from off, returning the
+// labels and the offset just past the name's in-place representation.
+func readName(buf []byte, off int) (labels []string, next int, err error) {
+	const maxHops = 64 // more pointer hops than any legal message needs
+	hops := 0
+	next = -1
+	for {
+		if off >= len(buf) {
+			return nil, 0, ErrShortMessage
+		}
+		b := buf[off]
+		switch {
+		case b == 0:
+			if next < 0 {
+				next = off + 1
+			}
+			return labels, next, nil
+		case b&0xC0 == 0xC0:
+			if off+2 > len(buf) {
+				return nil, 0, ErrShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(buf[off:]) & 0x3FFF)
+			if next < 0 {
+				next = off + 2
+			}
+			if ptr >= off {
+				return nil, 0, fmt.Errorf("pointer to %d at %d: %w", ptr, off, ErrBadPointer)
+			}
+			hops++
+			if hops > maxHops {
+				return nil, 0, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return nil, 0, fmt.Errorf("label tag %#x: %w", b, ErrBadPointer)
+		default:
+			l := int(b)
+			if off+1+l > len(buf) {
+				return nil, 0, ErrShortMessage
+			}
+			labels = append(labels, string(buf[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}
+
+func (d *decoder) question() (Question, error) {
+	n, err := d.name()
+	if err != nil {
+		return Question{}, err
+	}
+	t, err := d.u16()
+	if err != nil {
+		return Question{}, err
+	}
+	c, err := d.u16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: n, Type: Type(t), Class: Class(c)}, nil
+}
+
+func (d *decoder) rr() (RR, error) {
+	name, err := d.name()
+	if err != nil {
+		return RR{}, err
+	}
+	t, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	class, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	end := d.pos + int(rdlen)
+	if end > len(d.buf) {
+		return RR{}, ErrShortMessage
+	}
+
+	var data RData
+	switch Type(t) {
+	case TypeA:
+		raw, err := d.take(4)
+		if err != nil {
+			return RR{}, err
+		}
+		data = AData{Addr: netip.AddrFrom4([4]byte(raw))}
+	case TypeNS:
+		host, err := d.name()
+		if err != nil {
+			return RR{}, err
+		}
+		data = NSData{Host: host}
+	case TypeCNAME:
+		target, err := d.name()
+		if err != nil {
+			return RR{}, err
+		}
+		data = CNAMEData{Target: target}
+	case TypeSOA:
+		var soa SOAData
+		if soa.MName, err = d.name(); err != nil {
+			return RR{}, err
+		}
+		if soa.RName, err = d.name(); err != nil {
+			return RR{}, err
+		}
+		for _, p := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+			if *p, err = d.u32(); err != nil {
+				return RR{}, err
+			}
+		}
+		data = soa
+	case TypeMX:
+		pref, err := d.u16()
+		if err != nil {
+			return RR{}, err
+		}
+		host, err := d.name()
+		if err != nil {
+			return RR{}, err
+		}
+		data = MXData{Preference: pref, Host: host}
+	case TypeTXT:
+		var txt TXTData
+		for d.pos < end {
+			l, err := d.u8()
+			if err != nil {
+				return RR{}, err
+			}
+			s, err := d.take(int(l))
+			if err != nil {
+				return RR{}, err
+			}
+			txt.Strings = append(txt.Strings, string(s))
+		}
+		data = txt
+	case TypeAAAA:
+		raw, err := d.take(16)
+		if err != nil {
+			return RR{}, err
+		}
+		data = AAAAData{Addr: netip.AddrFrom16([16]byte(raw))}
+	default:
+		return RR{}, fmt.Errorf("type %s: %w", Type(t), ErrUnsupportedRR)
+	}
+
+	if d.pos != end {
+		return RR{}, fmt.Errorf("%s at %s: %w", Type(t), name, ErrRDataLength)
+	}
+	// RFC 2181 §8: a TTL with the most significant bit set is treated as
+	// zero. Clamping here keeps decoding canonical (decode∘encode is the
+	// identity on decoded messages).
+	if ttl > maxTTLSeconds {
+		ttl = 0
+	}
+	return RR{
+		Name:  name,
+		Class: Class(class),
+		TTL:   time.Duration(ttl) * time.Second,
+		Data:  data,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// maxTTLSeconds caps encoded TTLs at the RFC 2181 maximum.
+const maxTTLSeconds = 1<<31 - 1
+
+// encoder serializes a message with RFC 1035 name compression.
+type encoder struct {
+	buf []byte
+	// offsets remembers where each (sub)name was written so later
+	// occurrences can emit a compression pointer.
+	offsets map[Name]int
+}
+
+// Encode serializes m to wire format.
+func Encode(m *Message) ([]byte, error) {
+	e := &encoder{
+		buf:     make([]byte, 0, 512),
+		offsets: make(map[Name]int),
+	}
+
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	e.u16(m.Header.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		e.name(q.Name)
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if err := e.rr(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// MustEncode is Encode but panics on error; for messages built from
+// validated parts.
+func MustEncode(m *Message) []byte {
+	b, err := Encode(m)
+	if err != nil {
+		panic(fmt.Sprintf("dnsmsg: %v", err))
+	}
+	return b
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// name writes a possibly-compressed domain name.
+func (e *encoder) name(n Name) {
+	for !n.IsRoot() {
+		if off, ok := e.offsets[n]; ok && off <= 0x3FFF {
+			e.u16(0xC000 | uint16(off))
+			return
+		}
+		if len(e.buf) <= 0x3FFF {
+			e.offsets[n] = len(e.buf)
+		}
+		labels := n.Labels()
+		label := labels[0]
+		e.u8(uint8(len(label)))
+		e.buf = append(e.buf, label...)
+		n = n.Parent()
+	}
+	e.u8(0)
+}
+
+func (e *encoder) rr(rr RR) error {
+	if rr.Data == nil {
+		return fmt.Errorf("encoding %s: nil rdata", rr.Name)
+	}
+	e.name(rr.Name)
+	e.u16(uint16(rr.Type()))
+	e.u16(uint16(rr.Class))
+	ttl := int64(rr.TTL / time.Second)
+	if ttl < 0 {
+		ttl = 0
+	}
+	if ttl > maxTTLSeconds {
+		ttl = maxTTLSeconds
+	}
+	e.u32(uint32(ttl))
+
+	// Reserve RDLENGTH and patch after writing RDATA. Compression pointers
+	// inside RDATA remain valid because the target offsets precede them.
+	lenAt := len(e.buf)
+	e.u16(0)
+	start := len(e.buf)
+
+	switch d := rr.Data.(type) {
+	case AData:
+		if !d.Addr.Is4() {
+			return fmt.Errorf("encoding %s: A record with non-IPv4 address %v", rr.Name, d.Addr)
+		}
+		a4 := d.Addr.As4()
+		e.buf = append(e.buf, a4[:]...)
+	case NSData:
+		e.name(d.Host)
+	case CNAMEData:
+		e.name(d.Target)
+	case SOAData:
+		e.name(d.MName)
+		e.name(d.RName)
+		e.u32(d.Serial)
+		e.u32(d.Refresh)
+		e.u32(d.Retry)
+		e.u32(d.Expire)
+		e.u32(d.Minimum)
+	case MXData:
+		e.u16(d.Preference)
+		e.name(d.Host)
+	case TXTData:
+		for _, s := range d.Strings {
+			if len(s) > 255 {
+				return fmt.Errorf("encoding %s: TXT string exceeds 255 octets", rr.Name)
+			}
+			e.u8(uint8(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+	case AAAAData:
+		if !d.Addr.Is6() || d.Addr.Is4() {
+			return fmt.Errorf("encoding %s: AAAA record with non-IPv6 address %v", rr.Name, d.Addr)
+		}
+		a16 := d.Addr.As16()
+		e.buf = append(e.buf, a16[:]...)
+	default:
+		return fmt.Errorf("encoding %s: unsupported rdata type %T", rr.Name, rr.Data)
+	}
+
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("encoding %s: rdata length %d overflows", rr.Name, rdlen)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(rdlen))
+	return nil
+}

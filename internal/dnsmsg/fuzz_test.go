@@ -1,0 +1,56 @@
+package dnsmsg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder; it must never
+// panic, and anything it accepts must re-encode and re-decode to the same
+// message (decode/encode/decode fixpoint).
+func FuzzDecode(f *testing.F) {
+	f.Add(MustEncode(sampleMessage()))
+	f.Add(MustEncode(NewQuery(7, "www.example.com", TypeA)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		wire, err := Encode(msg)
+		if err != nil {
+			// A decoded message can fail to re-encode only for payloads
+			// the encoder rejects by policy (e.g. counts); it must not
+			// happen for structurally valid records.
+			t.Fatalf("re-encode of decoded message failed: %v\n%s", err, msg)
+		}
+		again, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(msg, again) {
+			t.Fatalf("decode/encode/decode fixpoint violated:\nfirst:  %s\nsecond: %s", msg, again)
+		}
+	})
+}
+
+// FuzzParseName: arbitrary strings must either parse to a name that
+// round-trips through String/ParseName, or error — never panic.
+func FuzzParseName(f *testing.F) {
+	f.Add("www.example.com")
+	f.Add(".")
+	f.Add("a..b")
+	f.Add("ümlaut.example")
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseName(n.String())
+		if err != nil || again != n {
+			t.Fatalf("round trip of %q: %q, %v", n, again, err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package dnsmsg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode is a DNS operation code.
+type Opcode uint8
+
+// OpcodeQuery is the only opcode the simulated Internet uses.
+const OpcodeQuery Opcode = 0
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String implements fmt.Stringer.
+func (rc RCode) String() string {
+	switch rc {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(rc))
+	}
+}
+
+// Header is the fixed 12-octet DNS message header, with the flag word
+// unpacked into fields.
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	Opcode             Opcode
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	RCode              RCode
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String implements fmt.Stringer.
+func (q Question) String() string {
+	return fmt.Sprintf("%s IN %s", q.Name, q.Type)
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursive-desired query for (name, type).
+func NewQuery(id uint16, name Name, qtype Type) *Message {
+	return &Message{
+		Header: Header{
+			ID:               id,
+			Opcode:           OpcodeQuery,
+			RecursionDesired: true,
+		},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query's ID, question,
+// and RD bit.
+func NewResponse(query *Message, rcode RCode) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Opcode:           query.Header.Opcode,
+			RecursionDesired: query.Header.RecursionDesired,
+			RCode:            rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, query.Questions...)
+	return resp
+}
+
+// Question returns the first question, or a zero Question when absent.
+func (m *Message) Question() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// AnswersOfType returns the answer records of the given type.
+func (m *Message) AnswersOfType(t Type) []RR {
+	var out []RR
+	for _, rr := range m.Answers {
+		if rr.Type() == t {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// String renders a dig-like summary, useful in test failures.
+func (m *Message) String() string {
+	var b strings.Builder
+	kind := "query"
+	if m.Header.Response {
+		kind = "response"
+	}
+	fmt.Fprintf(&b, "%s id=%d rcode=%s aa=%v", kind, m.Header.ID, m.Header.RCode, m.Header.Authoritative)
+	for _, q := range m.Questions {
+		fmt.Fprintf(&b, "\n;; %s", q)
+	}
+	for _, rr := range m.Answers {
+		fmt.Fprintf(&b, "\nan: %s", rr)
+	}
+	for _, rr := range m.Authority {
+		fmt.Fprintf(&b, "\nns: %s", rr)
+	}
+	for _, rr := range m.Additional {
+		fmt.Fprintf(&b, "\nad: %s", rr)
+	}
+	return b.String()
+}

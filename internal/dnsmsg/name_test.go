@@ -1,0 +1,122 @@
+package dnsmsg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseName(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Name
+		wantErr error
+	}{
+		{"example.com", "example.com", nil},
+		{"Example.COM.", "example.com", nil},
+		{"www.example.com", "www.example.com", nil},
+		{".", "", nil},
+		{"", "", nil},
+		{"a..b", "", ErrEmptyLabel},
+		{strings.Repeat("a", 64) + ".com", "", ErrLabelTooLong},
+		{strings.Repeat("abcd.", 60) + "com", "", ErrNameTooLong},
+	}
+	for _, tt := range tests {
+		got, err := ParseName(tt.in)
+		if tt.wantErr != nil {
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("ParseName(%q) err = %v, want %v", tt.in, err, tt.wantErr)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("ParseName(%q) = %q, %v, want %q", tt.in, got, err, tt.want)
+		}
+	}
+}
+
+func TestNameString(t *testing.T) {
+	if Name("").String() != "." {
+		t.Error("root name should render as '.'")
+	}
+	if Name("example.com").String() != "example.com" {
+		t.Error("name render mismatch")
+	}
+}
+
+func TestNameLabels(t *testing.T) {
+	got := MustParseName("www.example.com").Labels()
+	want := []string{"www", "example", "com"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels() = %v, want %v", got, want)
+		}
+	}
+	if Name("").Labels() != nil {
+		t.Error("root Labels() should be nil")
+	}
+}
+
+func TestNameParent(t *testing.T) {
+	tests := []struct{ in, want Name }{
+		{"www.example.com", "example.com"},
+		{"example.com", "com"},
+		{"com", ""},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Parent(); got != tt.want {
+			t.Errorf("%q.Parent() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNameChild(t *testing.T) {
+	if got := Name("example.com").Child("WWW"); got != "www.example.com" {
+		t.Errorf("Child = %q", got)
+	}
+	if got := Name("").Child("com"); got != "com" {
+		t.Errorf("root Child = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Child with dotted label did not panic")
+		}
+	}()
+	Name("example.com").Child("a.b")
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	tests := []struct {
+		name, zone Name
+		want       bool
+	}{
+		{"www.example.com", "example.com", true},
+		{"example.com", "example.com", true},
+		{"example.com", "com", true},
+		{"anything", "", true},
+		{"notexample.com", "example.com", false},
+		{"com", "example.com", false},
+	}
+	for _, tt := range tests {
+		if got := tt.name.IsSubdomainOf(tt.zone); got != tt.want {
+			t.Errorf("%q.IsSubdomainOf(%q) = %v, want %v", tt.name, tt.zone, got, tt.want)
+		}
+	}
+}
+
+func TestContainsSubstring(t *testing.T) {
+	n := MustParseName("kate.ns.cloudflare.com")
+	if !n.ContainsSubstring("cloudflare") {
+		t.Error("expected cloudflare substring match")
+	}
+	if !n.ContainsSubstring("CloudFlare") {
+		t.Error("substring match should be case-insensitive")
+	}
+	if n.ContainsSubstring("incapdns") {
+		t.Error("unexpected incapdns match")
+	}
+}

@@ -1,0 +1,57 @@
+package dnsresolver
+
+import (
+	"testing"
+
+	"rrdps/internal/dnsmsg"
+)
+
+func BenchmarkResolveColdCache(b *testing.B) {
+	f := newFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.resolver.PurgeCache()
+		if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveWarmCache(b *testing.B) {
+	f := newFixture(b)
+	if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExchangeDirect(b *testing.B) {
+	f := newFixture(b)
+	client := f.resolver.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Exchange(f.authAddr, "www.example.com", dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveCrossZoneCNAME(b *testing.B) {
+	f := newFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.resolver.PurgeCache()
+		if _, err := f.resolver.Resolve("cdn-www.example.com", dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

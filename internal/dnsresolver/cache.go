@@ -1,0 +1,177 @@
+package dnsresolver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"rrdps/internal/dnsmsg"
+)
+
+// cacheKey identifies a cached answer RRset.
+type cacheKey struct {
+	name  dnsmsg.Name
+	qtype dnsmsg.Type
+}
+
+// answerEntry is a cached positive or negative answer.
+type answerEntry struct {
+	// chain is the CNAME chain (possibly empty) leading to the answer.
+	chain []dnsmsg.RR
+	// answers are the records of the requested type at the chain's end.
+	answers []dnsmsg.RR
+	// rcode distinguishes NXDOMAIN negative entries.
+	rcode   dnsmsg.RCode
+	expires time.Time
+}
+
+// delegationEntry caches a zone cut: the nameserver names for a zone.
+type delegationEntry struct {
+	hosts   []dnsmsg.Name
+	expires time.Time
+}
+
+// cache is the resolver's TTL-aware store. Entries are never served past
+// their expiry; Purge empties everything (the paper's collector purges its
+// resolver cache before every daily run so snapshots stay independent,
+// §IV-B.1).
+type cache struct {
+	mu          sync.Mutex
+	answers     map[cacheKey]answerEntry
+	delegations map[dnsmsg.Name]delegationEntry
+	hostAddrs   map[dnsmsg.Name]struct {
+		addr    netip.Addr
+		expires time.Time
+	}
+}
+
+func newCache() *cache {
+	c := &cache{}
+	c.reset()
+	return c
+}
+
+func (c *cache) reset() {
+	c.answers = make(map[cacheKey]answerEntry)
+	c.delegations = make(map[dnsmsg.Name]delegationEntry)
+	c.hostAddrs = make(map[dnsmsg.Name]struct {
+		addr    netip.Addr
+		expires time.Time
+	})
+}
+
+// Purge drops every cached entry.
+func (c *cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+}
+
+// Len returns the total number of live entries at now.
+func (c *cache) Len(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.answers {
+		if e.expires.After(now) {
+			n++
+		}
+	}
+	for _, e := range c.delegations {
+		if e.expires.After(now) {
+			n++
+		}
+	}
+	for _, e := range c.hostAddrs {
+		if e.expires.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *cache) getAnswer(now time.Time, key cacheKey) (answerEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.answers[key]
+	if !ok || !e.expires.After(now) {
+		if ok {
+			delete(c.answers, key)
+		}
+		return answerEntry{}, false
+	}
+	return e, true
+}
+
+func (c *cache) putAnswer(now time.Time, key cacheKey, e answerEntry, ttl time.Duration) {
+	if ttl <= 0 {
+		return // zero-TTL answers are never cached
+	}
+	e.expires = now.Add(ttl)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.answers[key] = e
+}
+
+func (c *cache) getDelegation(now time.Time, zone dnsmsg.Name) ([]dnsmsg.Name, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.delegations[zone]
+	if !ok || !e.expires.After(now) {
+		if ok {
+			delete(c.delegations, zone)
+		}
+		return nil, false
+	}
+	return append([]dnsmsg.Name(nil), e.hosts...), true
+}
+
+func (c *cache) putDelegation(now time.Time, zone dnsmsg.Name, hosts []dnsmsg.Name, ttl time.Duration) {
+	if ttl <= 0 || len(hosts) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delegations[zone] = delegationEntry{
+		hosts:   append([]dnsmsg.Name(nil), hosts...),
+		expires: now.Add(ttl),
+	}
+}
+
+// closestDelegation returns the cached zone cut deepest along name's
+// ancestry, if any.
+func (c *cache) closestDelegation(now time.Time, name dnsmsg.Name) (dnsmsg.Name, []dnsmsg.Name, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for zone := name; !zone.IsRoot(); zone = zone.Parent() {
+		if e, ok := c.delegations[zone]; ok && e.expires.After(now) {
+			return zone, append([]dnsmsg.Name(nil), e.hosts...), true
+		}
+	}
+	return "", nil, false
+}
+
+func (c *cache) getHostAddr(now time.Time, host dnsmsg.Name) (netip.Addr, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.hostAddrs[host]
+	if !ok || !e.expires.After(now) {
+		if ok {
+			delete(c.hostAddrs, host)
+		}
+		return netip.Addr{}, false
+	}
+	return e.addr, true
+}
+
+func (c *cache) putHostAddr(now time.Time, host dnsmsg.Name, addr netip.Addr, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hostAddrs[host] = struct {
+		addr    netip.Addr
+		expires time.Time
+	}{addr: addr, expires: now.Add(ttl)}
+}

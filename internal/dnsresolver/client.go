@@ -1,0 +1,71 @@
+package dnsresolver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/netsim"
+)
+
+// Client issues single DNS queries to explicit servers over the fabric.
+// The residual-resolution scanner uses it to interrogate DPS nameservers
+// directly, bypassing normal delegation (the attack of paper §III-B).
+type Client struct {
+	net    *netsim.Network
+	addr   netip.Addr
+	region netsim.Region
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient creates a client attached at (addr, region) on the fabric.
+// The rng drives query-ID generation and must be non-nil.
+func NewClient(net *netsim.Network, addr netip.Addr, region netsim.Region, rng *rand.Rand) *Client {
+	if net == nil || rng == nil {
+		panic("dnsresolver: NewClient requires network and rng")
+	}
+	return &Client{net: net, addr: addr, region: region, rng: rng}
+}
+
+// Addr returns the client's source address.
+func (c *Client) Addr() netip.Addr { return c.addr }
+
+// Region returns the client's region.
+func (c *Client) Region() netsim.Region { return c.region }
+
+// ErrBadResponse indicates a response that failed validation (wrong ID or
+// question).
+var ErrBadResponse = errors.New("dnsresolver: response failed validation")
+
+// Exchange sends one query for (name, qtype) to server and returns the
+// decoded response. Errors from the fabric (timeout, unreachable) pass
+// through wrapped.
+func (c *Client) Exchange(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+	c.mu.Lock()
+	id := uint16(c.rng.Intn(1 << 16))
+	c.mu.Unlock()
+
+	query := dnsmsg.NewQuery(id, name, qtype)
+	wire := dnsmsg.MustEncode(query)
+	ep := netsim.Endpoint{Addr: server, Port: netsim.PortDNS}
+	raw, err := c.net.Send(c.addr, c.region, ep, wire)
+	if err != nil {
+		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, err)
+	}
+	resp, err := dnsmsg.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, err)
+	}
+	if resp.Header.ID != id || !resp.Header.Response {
+		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, ErrBadResponse)
+	}
+	if q := resp.Question(); q.Name != name || q.Type != qtype {
+		return nil, fmt.Errorf("exchange %s %s with %s: question mismatch: %w", name, qtype, server, ErrBadResponse)
+	}
+	return resp, nil
+}

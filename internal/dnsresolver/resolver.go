@@ -1,0 +1,377 @@
+// Package dnsresolver implements an iterative (recursive-resolving) DNS
+// resolver over the simulated network fabric, with a TTL cache that can be
+// purged between measurement runs, plus a low-level Client for direct
+// queries to specific nameservers.
+//
+// The resolver is the paper's "DNS record collector" substrate (§IV-B.1):
+// it walks delegations from the roots, chases CNAME chains across zones,
+// and caches aggressively — including NS delegations, whose long TTLs are
+// precisely why stale NS records keep pointing at former DPS providers and
+// make residual resolution exploitable (§VI-A).
+package dnsresolver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/netsim"
+	"rrdps/internal/simtime"
+)
+
+// Resolution errors.
+var (
+	// ErrNXDomain reports an authoritative denial of the name's existence.
+	ErrNXDomain = errors.New("dnsresolver: NXDOMAIN")
+	// ErrServFail reports that resolution could not complete (all servers
+	// failed, refused, or a delegation loop/depth limit was hit).
+	ErrServFail = errors.New("dnsresolver: SERVFAIL")
+)
+
+// Limits protecting against delegation and alias loops.
+const (
+	maxReferralHops = 16
+	maxCNAMEHops    = 8
+	maxDepth        = 6 // nested NS-address resolutions
+)
+
+// Result is a completed resolution.
+type Result struct {
+	// Question is the original (name, type) asked.
+	Question dnsmsg.Question
+	// Chain is the CNAME chain followed, in order, possibly empty.
+	Chain []dnsmsg.RR
+	// Answers holds the records of the requested type at the final name.
+	// Empty with a nil error means NODATA.
+	Answers []dnsmsg.RR
+}
+
+// FinalName returns the name the chain ends at (the original name when no
+// CNAME was followed).
+func (r Result) FinalName() dnsmsg.Name {
+	if len(r.Chain) == 0 {
+		return r.Question.Name
+	}
+	return r.Chain[len(r.Chain)-1].Data.(dnsmsg.CNAMEData).Target
+}
+
+// Addrs extracts the IPv4 addresses from A answers.
+func (r Result) Addrs() []netip.Addr {
+	var out []netip.Addr
+	for _, rr := range r.Answers {
+		if a, ok := rr.Data.(dnsmsg.AData); ok {
+			out = append(out, a.Addr)
+		}
+	}
+	return out
+}
+
+// CNAMETargets extracts the alias targets in chain order.
+func (r Result) CNAMETargets() []dnsmsg.Name {
+	var out []dnsmsg.Name
+	for _, rr := range r.Chain {
+		out = append(out, rr.Data.(dnsmsg.CNAMEData).Target)
+	}
+	return out
+}
+
+// NSHosts extracts nameserver hostnames from NS answers.
+func (r Result) NSHosts() []dnsmsg.Name {
+	var out []dnsmsg.Name
+	for _, rr := range r.Answers {
+		if ns, ok := rr.Data.(dnsmsg.NSData); ok {
+			out = append(out, ns.Host)
+		}
+	}
+	return out
+}
+
+// Config parametrizes a Resolver.
+type Config struct {
+	// Network is the fabric the resolver speaks over. Required.
+	Network *netsim.Network
+	// Clock drives cache expiry. Required.
+	Clock simtime.Clock
+	// Addr is the resolver's own address on the fabric. Required.
+	Addr netip.Addr
+	// Region is where the resolver sits (vantage point). Required for
+	// anycast realism.
+	Region netsim.Region
+	// Roots are the root nameserver addresses. At least one is required.
+	Roots []netip.Addr
+	// Rand drives query IDs and server selection. Required.
+	Rand *rand.Rand
+}
+
+// Resolver is an iterative resolver with cache. Safe for concurrent use.
+type Resolver struct {
+	client *Client
+	clock  simtime.Clock
+	roots  []netip.Addr
+	cache  *cache
+
+	negTTL time.Duration
+}
+
+// New creates a Resolver.
+func New(cfg Config) *Resolver {
+	if cfg.Network == nil || cfg.Clock == nil || cfg.Rand == nil {
+		panic("dnsresolver: Network, Clock, and Rand are required")
+	}
+	if len(cfg.Roots) == 0 {
+		panic("dnsresolver: at least one root server is required")
+	}
+	return &Resolver{
+		client: NewClient(cfg.Network, cfg.Addr, cfg.Region, cfg.Rand),
+		clock:  cfg.Clock,
+		roots:  append([]netip.Addr(nil), cfg.Roots...),
+		cache:  newCache(),
+		negTTL: 15 * time.Minute,
+	}
+}
+
+// Client returns the resolver's underlying direct-query client.
+func (r *Resolver) Client() *Client { return r.client }
+
+// PurgeCache empties the resolver's cache. The paper's collector does this
+// before every daily snapshot so consecutive measurements are independent.
+func (r *Resolver) PurgeCache() { r.cache.Purge() }
+
+// CacheLen returns the number of live cache entries.
+func (r *Resolver) CacheLen() int { return r.cache.Len(r.clock.Now()) }
+
+// Resolve performs a full recursive resolution of (name, qtype).
+func (r *Resolver) Resolve(name dnsmsg.Name, qtype dnsmsg.Type) (Result, error) {
+	return r.resolve(name, qtype, 0)
+}
+
+func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Result, error) {
+	if depth > maxDepth {
+		return Result{}, fmt.Errorf("resolving %s %s: nesting too deep: %w", name, qtype, ErrServFail)
+	}
+	res := Result{Question: dnsmsg.Question{Name: name, Type: qtype, Class: dnsmsg.ClassIN}}
+	now := r.clock.Now()
+
+	cur := name
+	for hop := 0; hop <= maxCNAMEHops; hop++ {
+		key := cacheKey{name: cur, qtype: qtype}
+		if e, ok := r.cache.getAnswer(now, key); ok {
+			res.Chain = append(res.Chain, e.chain...)
+			res.Answers = e.answers
+			if e.rcode == dnsmsg.RCodeNXDomain {
+				return res, fmt.Errorf("resolving %s %s (cached): %w", name, qtype, ErrNXDomain)
+			}
+			// A cached bare CNAME (no final answers) still needs chasing.
+			if len(e.answers) == 0 && len(e.chain) > 0 {
+				cur = res.FinalName()
+				continue
+			}
+			return res, nil
+		}
+
+		chain, answers, rcode, negTTL, err := r.iterate(cur, qtype, depth)
+		if err != nil {
+			return res, fmt.Errorf("resolving %s %s: %w", name, qtype, err)
+		}
+		if rcode == dnsmsg.RCodeNXDomain {
+			r.cache.putAnswer(now, key, answerEntry{rcode: rcode}, negTTL)
+			res.Chain = append(res.Chain, chain...)
+			return res, fmt.Errorf("resolving %s %s: %w", name, qtype, ErrNXDomain)
+		}
+
+		ttl := minTTL(append(chain, answers...), r.negTTL)
+		r.cache.putAnswer(now, key, answerEntry{chain: chain, answers: answers}, ttl)
+		// Feed A answers into the host-address cache for NS resolution.
+		for _, rr := range answers {
+			if a, ok := rr.Data.(dnsmsg.AData); ok {
+				r.cache.putHostAddr(now, rr.Name, a.Addr, rr.TTL)
+			}
+		}
+
+		res.Chain = append(res.Chain, chain...)
+		res.Answers = answers
+		if len(answers) == 0 && len(chain) > 0 && qtype != dnsmsg.TypeCNAME {
+			// Bare alias: restart at the target.
+			cur = res.FinalName()
+			continue
+		}
+		return res, nil
+	}
+	return res, fmt.Errorf("resolving %s %s: CNAME chain too long: %w", name, qtype, ErrServFail)
+}
+
+// iterate walks delegations from the closest cached cut (or the roots)
+// until an authoritative answer for (name, qtype) arrives. It returns the
+// CNAME chain seen in the final answer, the answers of qtype, the response
+// code, and the negative-caching TTL (from the authority SOA per RFC
+// 2308, falling back to the resolver default).
+func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chain, answers []dnsmsg.RR, rcode dnsmsg.RCode, negTTL time.Duration, err error) {
+	now := r.clock.Now()
+	servers := append([]netip.Addr(nil), r.roots...)
+	if _, hosts, ok := r.cache.closestDelegation(now, name); ok {
+		if addrs := r.hostAddrs(hosts, depth); len(addrs) > 0 {
+			servers = addrs
+		}
+	}
+
+	for hop := 0; hop < maxReferralHops; hop++ {
+		resp, ok := r.queryAny(servers, name, qtype)
+		if !ok {
+			return nil, nil, 0, 0, fmt.Errorf("no server for %s answered: %w", name, ErrServFail)
+		}
+		switch resp.Header.RCode {
+		case dnsmsg.RCodeNoError:
+			// fallthrough below
+		case dnsmsg.RCodeNXDomain:
+			return splitChain(resp.Answers, name, qtype), nil, dnsmsg.RCodeNXDomain, r.negativeTTL(resp), nil
+		default:
+			return nil, nil, 0, 0, fmt.Errorf("server answered %s for %s: %w", resp.Header.RCode, name, ErrServFail)
+		}
+
+		if len(resp.Answers) > 0 {
+			chain = splitChain(resp.Answers, name, qtype)
+			answers = finalAnswers(resp.Answers, qtype)
+			return chain, answers, dnsmsg.RCodeNoError, r.negTTL, nil
+		}
+
+		// Referral?
+		nsSet := refNS(resp)
+		if len(nsSet) == 0 {
+			// Authoritative NODATA.
+			return nil, nil, dnsmsg.RCodeNoError, r.negativeTTL(resp), nil
+		}
+		zone := nsSet[0].Name
+		hosts := make([]dnsmsg.Name, 0, len(nsSet))
+		for _, rr := range nsSet {
+			hosts = append(hosts, rr.Data.(dnsmsg.NSData).Host)
+		}
+		r.cache.putDelegation(now, zone, hosts, minTTL(nsSet, r.negTTL))
+		for _, rr := range resp.Additional {
+			if a, ok := rr.Data.(dnsmsg.AData); ok {
+				r.cache.putHostAddr(now, rr.Name, a.Addr, rr.TTL)
+			}
+		}
+		next := r.hostAddrs(hosts, depth)
+		if len(next) == 0 {
+			return nil, nil, 0, 0, fmt.Errorf("no reachable nameserver for %s: %w", zone, ErrServFail)
+		}
+		servers = next
+	}
+	return nil, nil, 0, 0, fmt.Errorf("referral limit for %s: %w", name, ErrServFail)
+}
+
+// negativeTTL derives the RFC 2308 negative-caching TTL from a response's
+// authority SOA: min(SOA TTL, SOA minimum), clamped to the resolver
+// default when absent or larger.
+func (r *Resolver) negativeTTL(resp *dnsmsg.Message) time.Duration {
+	for _, rr := range resp.Authority {
+		soa, ok := rr.Data.(dnsmsg.SOAData)
+		if !ok {
+			continue
+		}
+		ttl := rr.TTL
+		if min := time.Duration(soa.Minimum) * time.Second; min < ttl {
+			ttl = min
+		}
+		if ttl <= 0 || ttl > r.negTTL {
+			return r.negTTL
+		}
+		return ttl
+	}
+	return r.negTTL
+}
+
+// queryAny tries servers in order until one responds.
+func (r *Resolver) queryAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, bool) {
+	for _, s := range servers {
+		resp, err := r.client.Exchange(s, name, qtype)
+		if err == nil {
+			return resp, true
+		}
+	}
+	return nil, false
+}
+
+// hostAddrs maps nameserver hostnames to addresses, using glue from cache
+// and falling back to nested resolution.
+func (r *Resolver) hostAddrs(hosts []dnsmsg.Name, depth int) []netip.Addr {
+	now := r.clock.Now()
+	var out []netip.Addr
+	for _, h := range hosts {
+		if addr, ok := r.cache.getHostAddr(now, h); ok {
+			out = append(out, addr)
+			continue
+		}
+		sub, err := r.resolve(h, dnsmsg.TypeA, depth+1)
+		if err == nil {
+			if addrs := sub.Addrs(); len(addrs) > 0 {
+				out = append(out, addrs[0])
+			}
+		}
+	}
+	return out
+}
+
+// splitChain extracts the CNAME records from an answer section in chain
+// order starting at qname.
+func splitChain(answers []dnsmsg.RR, qname dnsmsg.Name, qtype dnsmsg.Type) []dnsmsg.RR {
+	if qtype == dnsmsg.TypeCNAME {
+		return nil
+	}
+	var chain []dnsmsg.RR
+	cur := qname
+	for i := 0; i < len(answers)+1; i++ {
+		found := false
+		for _, rr := range answers {
+			if rr.Name == cur && rr.Type() == dnsmsg.TypeCNAME {
+				chain = append(chain, rr)
+				cur = rr.Data.(dnsmsg.CNAMEData).Target
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return chain
+}
+
+// finalAnswers returns the records of qtype from an answer section.
+func finalAnswers(answers []dnsmsg.RR, qtype dnsmsg.Type) []dnsmsg.RR {
+	var out []dnsmsg.RR
+	for _, rr := range answers {
+		if rr.Type() == qtype {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// refNS extracts the NS records of a referral's authority section.
+func refNS(resp *dnsmsg.Message) []dnsmsg.RR {
+	var out []dnsmsg.RR
+	for _, rr := range resp.Authority {
+		if rr.Type() == dnsmsg.TypeNS {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// minTTL returns the smallest TTL among rrs, or fallback when rrs is empty.
+func minTTL(rrs []dnsmsg.RR, fallback time.Duration) time.Duration {
+	if len(rrs) == 0 {
+		return fallback
+	}
+	min := rrs[0].TTL
+	for _, rr := range rrs[1:] {
+		if rr.TTL < min {
+			min = rr.TTL
+		}
+	}
+	return min
+}

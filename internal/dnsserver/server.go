@@ -1,0 +1,174 @@
+// Package dnsserver implements an authoritative DNS nameserver attached to
+// the simulated network fabric.
+//
+// A server hosts any number of zones and answers wire-format queries with
+// the RFC 1034 semantics provided by dnszone. Its behaviour for names it is
+// not authoritative for is configurable: answer REFUSED, or ignore the
+// query entirely — the paper observes that Cloudflare's nameservers
+// silently ignore queries for domains they do not serve (§V-A.2), and the
+// residual-resolution scanner depends on distinguishing "answered" from
+// "ignored".
+package dnsserver
+
+import (
+	"sync"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnszone"
+	"rrdps/internal/netsim"
+)
+
+// UnknownZonePolicy selects what the server does with queries for names in
+// no hosted zone.
+type UnknownZonePolicy int
+
+// Unknown-zone policies.
+const (
+	// PolicyRefuse answers with RCODE REFUSED.
+	PolicyRefuse UnknownZonePolicy = iota + 1
+	// PolicyIgnore drops the query silently; clients observe a timeout.
+	PolicyIgnore
+)
+
+// Config parametrizes a Server.
+type Config struct {
+	// Name identifies the server in logs and test failures.
+	Name string
+	// UnknownZone selects the unknown-zone behaviour. Defaults to
+	// PolicyRefuse.
+	UnknownZone UnknownZonePolicy
+}
+
+// Server is an authoritative nameserver. It is safe for concurrent use.
+type Server struct {
+	name    string
+	unknown UnknownZonePolicy
+
+	mu      sync.RWMutex
+	zones   map[dnsmsg.Name]*dnszone.Zone
+	queries uint64
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	policy := cfg.UnknownZone
+	if policy == 0 {
+		policy = PolicyRefuse
+	}
+	return &Server{
+		name:    cfg.Name,
+		unknown: policy,
+		zones:   make(map[dnsmsg.Name]*dnszone.Zone),
+	}
+}
+
+var _ netsim.Handler = (*Server)(nil)
+
+// AddZone starts serving z. Adding a zone with the same origin replaces the
+// previous one.
+func (s *Server) AddZone(z *dnszone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// RemoveZone stops serving the zone rooted at origin.
+func (s *Server) RemoveZone(origin dnsmsg.Name) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, origin)
+}
+
+// Zone returns the hosted zone rooted exactly at origin.
+func (s *Server) Zone(origin dnsmsg.Name) (*dnszone.Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[origin]
+	return z, ok
+}
+
+// ZoneCount returns how many zones the server hosts.
+func (s *Server) ZoneCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.zones)
+}
+
+// Queries returns how many queries the server has processed.
+func (s *Server) Queries() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries
+}
+
+// findZone returns the hosted zone with the longest origin that is a
+// suffix of qname. It walks qname's ancestry instead of scanning all
+// zones, so servers hosting tens of thousands of customer zones (like the
+// Cloudflare fleet) answer in O(labels).
+func (s *Server) findZone(qname dnsmsg.Name) *dnszone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for n := qname; ; n = n.Parent() {
+		if z, ok := s.zones[n]; ok {
+			return z
+		}
+		if n.IsRoot() {
+			return nil
+		}
+	}
+}
+
+// ServeNet implements netsim.Handler. A nil response with nil error means
+// the query was silently ignored.
+func (s *Server) ServeNet(req netsim.Request) ([]byte, error) {
+	query, err := dnsmsg.Decode(req.Payload)
+	if err != nil || len(query.Questions) == 0 || query.Header.Response {
+		// Malformed datagram: real servers drop these.
+		return nil, nil
+	}
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+
+	resp := s.Respond(query)
+	if resp == nil {
+		return nil, nil
+	}
+	return dnsmsg.Encode(resp)
+}
+
+// Respond computes the server's response to query, or nil when the query is
+// ignored per policy. It is exported so tests and in-process clients can
+// bypass the codec.
+func (s *Server) Respond(query *dnsmsg.Message) *dnsmsg.Message {
+	q := query.Question()
+	zone := s.findZone(q.Name)
+	if zone == nil {
+		if s.unknown == PolicyIgnore {
+			return nil
+		}
+		return dnsmsg.NewResponse(query, dnsmsg.RCodeRefused)
+	}
+	if q.Class != dnsmsg.ClassIN {
+		return dnsmsg.NewResponse(query, dnsmsg.RCodeNotImp)
+	}
+
+	res := zone.Lookup(q.Name, q.Type)
+	resp := dnsmsg.NewResponse(query, dnsmsg.RCodeNoError)
+	resp.Header.Authoritative = true
+
+	switch res.Kind {
+	case dnszone.KindAnswer, dnszone.KindCNAME:
+		resp.Answers = res.Records
+	case dnszone.KindReferral:
+		resp.Header.Authoritative = false
+		resp.Authority = res.Records
+		resp.Additional = res.Glue
+	case dnszone.KindNoData:
+		resp.Authority = []dnsmsg.RR{res.SOA}
+	case dnszone.KindNXDomain:
+		resp.Header.RCode = dnsmsg.RCodeNXDomain
+		resp.Authority = []dnsmsg.RR{res.SOA}
+	}
+	return resp
+}

@@ -1,0 +1,129 @@
+package dps
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"rrdps/internal/dnsmsg"
+)
+
+// auditLookup builds a lookup function from a static answer table.
+func auditLookup(answers map[dnsmsg.Name][]netip.Addr) func(dnsmsg.Name) []netip.Addr {
+	return func(name dnsmsg.Name) []netip.Addr { return answers[name] }
+}
+
+func TestAuditTerminatedPurgesMovers(t *testing.T) {
+	f := newFixture(t, Cloudflare)
+	if _, err := f.provider.Enroll("moved.com", f.originAddr, ReroutingNS, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.provider.Enroll("stayed.com", f.originAddr, ReroutingNS, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	for _, apex := range []dnsmsg.Name{"moved.com", "stayed.com"} {
+		if err := f.provider.Terminate(apex, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// moved.com now publicly resolves elsewhere; stayed.com still serves
+	// the stored origin.
+	purged := f.provider.AuditTerminated(auditLookup(map[dnsmsg.Name][]netip.Addr{
+		"www.moved.com":  {netip.MustParseAddr("203.0.113.50")},
+		"www.stayed.com": {f.originAddr},
+	}))
+	if len(purged) != 1 || purged[0] != "moved.com" {
+		t.Fatalf("purged = %v, want [moved.com]", purged)
+	}
+	if _, ok := f.provider.Customer("moved.com"); ok {
+		t.Fatal("moved.com record survived the audit")
+	}
+	if _, ok := f.provider.Customer("stayed.com"); !ok {
+		t.Fatal("stayed.com record was wrongly purged (continuity case)")
+	}
+}
+
+func TestAuditTerminatedSkipsOnLookupFailure(t *testing.T) {
+	f := newFixture(t, Cloudflare)
+	if _, err := f.provider.Enroll("shop.com", f.originAddr, ReroutingNS, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.provider.Terminate("shop.com", true); err != nil {
+		t.Fatal(err)
+	}
+	// nil public answers model a transient resolution failure: the audit
+	// must leave the record alone.
+	purged := f.provider.AuditTerminated(auditLookup(nil))
+	if len(purged) != 0 {
+		t.Fatalf("purged = %v on lookup failure", purged)
+	}
+	if _, ok := f.provider.Customer("shop.com"); !ok {
+		t.Fatal("record purged despite lookup failure")
+	}
+}
+
+func TestAuditTerminatedIgnoresActiveAndSilent(t *testing.T) {
+	f := newFixture(t, Cloudflare)
+	if _, err := f.provider.Enroll("active.com", f.originAddr, ReroutingNS, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.provider.Enroll("silent.com", f.originAddr, ReroutingNS, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.provider.Terminate("silent.com", false); err != nil {
+		t.Fatal(err)
+	}
+	purged := f.provider.AuditTerminated(auditLookup(map[dnsmsg.Name][]netip.Addr{
+		"www.active.com": {netip.MustParseAddr("203.0.113.60")},
+		"www.silent.com": {netip.MustParseAddr("203.0.113.61")},
+	}))
+	if len(purged) != 0 {
+		t.Fatalf("purged = %v; active and silent customers must be untouched", purged)
+	}
+}
+
+func TestUpsertHostedRecord(t *testing.T) {
+	f := newFixture(t, Cloudflare)
+	if _, err := f.provider.Enroll("shop.com", f.originAddr, ReroutingNS, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	rr := dnsmsg.NewA("dev.shop.com", 5*time.Minute, netip.MustParseAddr("198.18.0.77"))
+	if err := f.provider.UpsertHostedRecord("shop.com", rr); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.dnsClient.Exchange(mustPoolAddr(t, f), "dev.shop.com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answerAddr(t, resp); got != netip.MustParseAddr("198.18.0.77") {
+		t.Fatalf("unproxied record = %v", got)
+	}
+}
+
+func TestUpsertHostedRecordErrors(t *testing.T) {
+	f := newFixture(t, Cloudflare)
+	rr := dnsmsg.NewA("dev.ghost.com", 5*time.Minute, netip.MustParseAddr("198.18.0.77"))
+	if err := f.provider.UpsertHostedRecord("ghost.com", rr); err == nil {
+		t.Fatal("upsert for unknown customer succeeded")
+	}
+	// CNAME-method customers have no hosted zone.
+	inc := newFixture(t, Incapsula)
+	if _, err := inc.provider.Enroll("shop.com", inc.originAddr, ReroutingCNAME, PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	rr2 := dnsmsg.NewA("dev.shop.com", 5*time.Minute, netip.MustParseAddr("198.18.0.77"))
+	if err := inc.provider.UpsertHostedRecord("shop.com", rr2); err == nil {
+		t.Fatal("upsert for CNAME customer succeeded")
+	}
+}
+
+func mustPoolAddr(t *testing.T, f *fixture) netip.Addr {
+	t.Helper()
+	pool := f.provider.NSPool()
+	addr, ok := f.provider.NSPoolAddr(pool[0])
+	if !ok {
+		t.Fatal("no pool address")
+	}
+	return addr
+}

@@ -1,0 +1,278 @@
+// Package dps models DDoS Protection Service providers: the Table II
+// provider profiles, customer provisioning over the three DNS-based
+// rerouting mechanisms, edge fleets, anycast nameserver fleets, and — the
+// paper's focus — the termination policies that decide whether a provider
+// leaks origin IP addresses after a customer leaves (residual resolution).
+package dps
+
+import (
+	"fmt"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/ipspace"
+)
+
+// Rerouting identifies a DNS-based request-rerouting mechanism (§II-A.2).
+type Rerouting int
+
+// Rerouting mechanisms.
+const (
+	// ReroutingA: the provider assigns an edge IP; the customer points its
+	// own A record at it. The provider's nameservers are never involved,
+	// so there is no residual-resolution risk (§III-B).
+	ReroutingA Rerouting = iota + 1
+	// ReroutingCNAME: the provider assigns a canonical name in its own
+	// infrastructure zone; the customer aliases to it.
+	ReroutingCNAME
+	// ReroutingNS: the provider hosts the customer's whole zone on its
+	// nameservers (NS hosting).
+	ReroutingNS
+)
+
+// String implements fmt.Stringer.
+func (r Rerouting) String() string {
+	switch r {
+	case ReroutingA:
+		return "A"
+	case ReroutingCNAME:
+		return "CNAME"
+	case ReroutingNS:
+		return "NS"
+	default:
+		return fmt.Sprintf("rerouting%d", int(r))
+	}
+}
+
+// TerminationPolicy is what a provider's nameservers do after a customer
+// explicitly terminates service (§VI-A).
+type TerminationPolicy int
+
+// Termination policies.
+const (
+	// PolicyClean removes the customer's records immediately; later
+	// queries are ignored or refused. No residual resolution.
+	PolicyClean TerminationPolicy = iota + 1
+	// PolicyResidual keeps answering queries with the last recorded
+	// origin IP address "for service continuity" until a purge deadline —
+	// the behaviour the paper verifies for Cloudflare and Incapsula.
+	PolicyResidual
+)
+
+// String implements fmt.Stringer.
+func (p TerminationPolicy) String() string {
+	switch p {
+	case PolicyClean:
+		return "clean"
+	case PolicyResidual:
+		return "residual"
+	default:
+		return fmt.Sprintf("policy%d", int(p))
+	}
+}
+
+// ProviderKey identifies one of the eleven studied providers.
+type ProviderKey string
+
+// The eleven DPS providers of Table II.
+const (
+	Akamai     ProviderKey = "akamai"
+	Cloudflare ProviderKey = "cloudflare"
+	Cloudfront ProviderKey = "cloudfront"
+	CDN77      ProviderKey = "cdn77"
+	CDNetworks ProviderKey = "cdnetworks"
+	DOSarrest  ProviderKey = "dosarrest"
+	Edgecast   ProviderKey = "edgecast"
+	Fastly     ProviderKey = "fastly"
+	Incapsula  ProviderKey = "incapsula"
+	Limelight  ProviderKey = "limelight"
+	Stackpath  ProviderKey = "stackpath"
+)
+
+// Profile is the static description of a provider: the Table II row plus
+// the infrastructure naming scheme and termination behaviour used by the
+// simulation.
+type Profile struct {
+	Key         ProviderKey
+	DisplayName string
+
+	// InfraApex is the provider's infrastructure domain, under which edge
+	// CNAME targets and nameserver hostnames live (e.g. incapdns.net).
+	InfraApex dnsmsg.Name
+	// CNAMELabel is inserted between the per-customer token and InfraApex
+	// in generated canonical names; may be empty.
+	CNAMELabel string
+	// NSHostLabel is inserted into generated nameserver hostnames; may be
+	// empty.
+	NSHostLabel string
+
+	// CNAMESubstrings / NSSubstrings are the Table II matching strings the
+	// measurement pipeline uses to attribute CNAME and NS records.
+	CNAMESubstrings []string
+	NSSubstrings    []string
+
+	// ASNs are the provider's autonomous systems (Table II).
+	ASNs []ipspace.ASN
+
+	// Methods are the rerouting mechanisms the provider offers, in
+	// preference order.
+	Methods []Rerouting
+
+	// Termination selects the nameserver behaviour after explicit
+	// customer termination.
+	Termination TerminationPolicy
+
+	// NSGivenNames, when non-empty, generate Cloudflare-style nameserver
+	// hostnames "<name>.<NSHostLabel>.<InfraApex>".
+	NSGivenNames []string
+}
+
+// Supports reports whether the provider offers the rerouting method.
+func (p Profile) Supports(m Rerouting) bool {
+	for _, have := range p.Methods {
+		if have == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Residual reports whether the provider is vulnerable to residual
+// resolution by policy.
+func (p Profile) Residual() bool { return p.Termination == PolicyResidual }
+
+// _cloudflareNSNames mirrors Cloudflare's "[girl/boy's name].ns.cloudflare
+// .com" scheme (paper footnote 12).
+var _cloudflareNSNames = []string{
+	"ada", "amir", "anna", "ben", "cara", "dan", "elsa", "finn",
+	"gina", "hugo", "iris", "jack", "kate", "liam", "mona", "nora",
+	"omar", "pam", "quinn", "rob", "sara", "theo", "uma", "vera",
+}
+
+// Profiles returns the Table II provider profiles, keyed lookup via
+// ProfileFor. The slice is freshly allocated on each call.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Key: Akamai, DisplayName: "Akamai",
+			InfraApex: "akam.net", CNAMELabel: "edgekey", NSHostLabel: "",
+			CNAMESubstrings: []string{"akamai", "edgekey", "edgesuite"},
+			NSSubstrings:    []string{"akam"},
+			ASNs:            []ipspace.ASN{32787, 12222, 20940, 16625, 35994},
+			Methods:         []Rerouting{ReroutingA, ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: Cloudflare, DisplayName: "Cloudflare",
+			InfraApex: "cloudflare.com", CNAMELabel: "cdn", NSHostLabel: "ns",
+			CNAMESubstrings: []string{"cloudflare"},
+			NSSubstrings:    []string{"cloudflare"},
+			ASNs:            []ipspace.ASN{13335},
+			Methods:         []Rerouting{ReroutingNS, ReroutingCNAME},
+			Termination:     PolicyResidual,
+			NSGivenNames:    _cloudflareNSNames,
+		},
+		{
+			Key: Cloudfront, DisplayName: "Cloudfront",
+			InfraApex: "cloudfront.net", CNAMELabel: "", NSHostLabel: "",
+			CNAMESubstrings: []string{"cloudfront"},
+			NSSubstrings:    nil,
+			// Cloudfront has no dedicated AS (Table II note ¶); the
+			// simulation assigns it a synthetic AWS-range AS.
+			ASNs:        []ipspace.ASN{16509},
+			Methods:     []Rerouting{ReroutingCNAME},
+			Termination: PolicyClean,
+		},
+		{
+			Key: CDN77, DisplayName: "CDN77",
+			InfraApex: "cdn77.net", CNAMELabel: "", NSHostLabel: "",
+			CNAMESubstrings: []string{"cdn77"},
+			NSSubstrings:    []string{"cdn77"},
+			ASNs:            []ipspace.ASN{60068},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: CDNetworks, DisplayName: "CDNetworks",
+			InfraApex: "cdngc.net", CNAMELabel: "", NSHostLabel: "cdnetdns",
+			CNAMESubstrings: []string{"cdnga", "cdngc", "cdnetworks"},
+			NSSubstrings:    []string{"cdnetdns", "panthercdn"},
+			ASNs:            []ipspace.ASN{38107, 36408},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: DOSarrest, DisplayName: "DOSarrest",
+			InfraApex: "dosarrest.com", CNAMELabel: "", NSHostLabel: "",
+			CNAMESubstrings: nil,
+			NSSubstrings:    nil,
+			ASNs:            []ipspace.ASN{19324},
+			Methods:         []Rerouting{ReroutingA},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: Edgecast, DisplayName: "Edgecast",
+			InfraApex: "alphacdn.net", CNAMELabel: "", NSHostLabel: "edgecastcdn",
+			CNAMESubstrings: []string{"edgecastcdn", "alphacdn"},
+			NSSubstrings:    []string{"edgecastcdn", "alphacdn"},
+			ASNs:            []ipspace.ASN{15133, 14210, 14153},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: Fastly, DisplayName: "Fastly",
+			InfraApex: "fastly.net", CNAMELabel: "", NSHostLabel: "",
+			CNAMESubstrings: []string{"fastly"},
+			NSSubstrings:    []string{"fastly"},
+			ASNs:            []ipspace.ASN{54113, 394192},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: Incapsula, DisplayName: "Incapsula",
+			InfraApex: "incapdns.net", CNAMELabel: "x", NSHostLabel: "",
+			CNAMESubstrings: []string{"incapdns"},
+			NSSubstrings:    []string{"incapdns"},
+			ASNs:            []ipspace.ASN{19551},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyResidual,
+		},
+		{
+			Key: Limelight, DisplayName: "Limelight",
+			InfraApex: "llnw.net", CNAMELabel: "", NSHostLabel: "lldns",
+			CNAMESubstrings: []string{"llnw", "lldns"},
+			NSSubstrings:    []string{"llnw", "lldns"},
+			ASNs:            []ipspace.ASN{22822, 38622, 55429},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+		{
+			Key: Stackpath, DisplayName: "Stackpath",
+			InfraApex: "hwcdn.net", CNAMELabel: "netdna", NSHostLabel: "netdna",
+			CNAMESubstrings: []string{"stackpath", "netdna", "hwcdn"},
+			NSSubstrings:    []string{"netdna", "hwcdn"},
+			ASNs:            []ipspace.ASN{54104, 20446},
+			Methods:         []Rerouting{ReroutingCNAME},
+			Termination:     PolicyClean,
+		},
+	}
+}
+
+// ProfileFor returns the profile for key.
+func ProfileFor(key ProviderKey) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Key == key {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// AllKeys returns the provider keys in Table II order.
+func AllKeys() []ProviderKey {
+	profiles := Profiles()
+	out := make([]ProviderKey, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Key
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package dps
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfilesCoverTableII(t *testing.T) {
+	profiles := Profiles()
+	if len(profiles) != 11 {
+		t.Fatalf("len(Profiles()) = %d, want 11", len(profiles))
+	}
+	seen := make(map[ProviderKey]bool)
+	for _, p := range profiles {
+		if seen[p.Key] {
+			t.Errorf("duplicate profile %s", p.Key)
+		}
+		seen[p.Key] = true
+		if p.DisplayName == "" || p.InfraApex == "" {
+			t.Errorf("%s: missing display name or infra apex", p.Key)
+		}
+		if len(p.ASNs) == 0 {
+			t.Errorf("%s: no ASNs", p.Key)
+		}
+		if len(p.Methods) == 0 {
+			t.Errorf("%s: no rerouting methods", p.Key)
+		}
+	}
+}
+
+func TestOnlyCloudflareAndIncapsulaAreResidual(t *testing.T) {
+	for _, p := range Profiles() {
+		want := p.Key == Cloudflare || p.Key == Incapsula
+		if got := p.Residual(); got != want {
+			t.Errorf("%s Residual() = %v, want %v", p.Key, got, want)
+		}
+	}
+}
+
+func TestTableIIRows(t *testing.T) {
+	tests := []struct {
+		key        ProviderKey
+		methods    []Rerouting
+		cnameSub   string // one substring that must be present ("" = none)
+		nsSub      string
+		wantASNLen int
+	}{
+		{Akamai, []Rerouting{ReroutingA, ReroutingCNAME}, "edgekey", "akam", 5},
+		{Cloudflare, []Rerouting{ReroutingNS, ReroutingCNAME}, "cloudflare", "cloudflare", 1},
+		{Cloudfront, []Rerouting{ReroutingCNAME}, "cloudfront", "", 1},
+		{CDN77, []Rerouting{ReroutingCNAME}, "cdn77", "cdn77", 1},
+		{CDNetworks, []Rerouting{ReroutingCNAME}, "cdnga", "panthercdn", 2},
+		{DOSarrest, []Rerouting{ReroutingA}, "", "", 1},
+		{Edgecast, []Rerouting{ReroutingCNAME}, "alphacdn", "edgecastcdn", 3},
+		{Fastly, []Rerouting{ReroutingCNAME}, "fastly", "fastly", 2},
+		{Incapsula, []Rerouting{ReroutingCNAME}, "incapdns", "incapdns", 1},
+		{Limelight, []Rerouting{ReroutingCNAME}, "llnw", "lldns", 3},
+		{Stackpath, []Rerouting{ReroutingCNAME}, "netdna", "hwcdn", 2},
+	}
+	for _, tt := range tests {
+		p, ok := ProfileFor(tt.key)
+		if !ok {
+			t.Fatalf("ProfileFor(%s) missing", tt.key)
+		}
+		if len(p.Methods) != len(tt.methods) {
+			t.Errorf("%s methods = %v, want %v", tt.key, p.Methods, tt.methods)
+		} else {
+			for i := range tt.methods {
+				if p.Methods[i] != tt.methods[i] {
+					t.Errorf("%s methods = %v, want %v", tt.key, p.Methods, tt.methods)
+					break
+				}
+			}
+		}
+		if tt.cnameSub != "" && !containsStr(p.CNAMESubstrings, tt.cnameSub) {
+			t.Errorf("%s CNAME substrings %v missing %q", tt.key, p.CNAMESubstrings, tt.cnameSub)
+		}
+		if tt.cnameSub == "" && len(p.CNAMESubstrings) != 0 {
+			t.Errorf("%s should have no CNAME substrings", tt.key)
+		}
+		if tt.nsSub != "" && !containsStr(p.NSSubstrings, tt.nsSub) {
+			t.Errorf("%s NS substrings %v missing %q", tt.key, p.NSSubstrings, tt.nsSub)
+		}
+		if len(p.ASNs) != tt.wantASNLen {
+			t.Errorf("%s ASNs = %v, want %d entries", tt.key, p.ASNs, tt.wantASNLen)
+		}
+	}
+}
+
+func containsStr(hay []string, needle string) bool {
+	for _, h := range hay {
+		if h == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestProfileSupports(t *testing.T) {
+	cf, _ := ProfileFor(Cloudflare)
+	if !cf.Supports(ReroutingNS) || !cf.Supports(ReroutingCNAME) || cf.Supports(ReroutingA) {
+		t.Fatalf("cloudflare Supports wrong: %v", cf.Methods)
+	}
+}
+
+func TestAllKeysOrder(t *testing.T) {
+	keys := AllKeys()
+	if len(keys) != 11 || keys[0] != Akamai || keys[1] != Cloudflare {
+		t.Fatalf("AllKeys() = %v", keys)
+	}
+}
+
+func TestProfileForUnknown(t *testing.T) {
+	if _, ok := ProfileFor("nonesuch"); ok {
+		t.Fatal("ProfileFor(nonesuch) succeeded")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ReroutingA.String() != "A" || ReroutingCNAME.String() != "CNAME" || ReroutingNS.String() != "NS" {
+		t.Fatal("Rerouting strings wrong")
+	}
+	if !strings.Contains(Rerouting(0).String(), "rerouting") {
+		t.Fatal("zero Rerouting string wrong")
+	}
+	if PolicyClean.String() != "clean" || PolicyResidual.String() != "residual" {
+		t.Fatal("policy strings wrong")
+	}
+	if PlanFree.String() != "free" || PlanPaid.String() != "paid" {
+		t.Fatal("plan strings wrong")
+	}
+	if StateActive.String() != "active" || StatePaused.String() != "paused" || StateTerminated.String() != "terminated" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestCloudflareNSNamingScheme(t *testing.T) {
+	cf, _ := ProfileFor(Cloudflare)
+	if len(cf.NSGivenNames) == 0 {
+		t.Fatal("cloudflare profile must carry given names for its NS scheme")
+	}
+}

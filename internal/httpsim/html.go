@@ -1,0 +1,100 @@
+package httpsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Page is the content of a website landing page. The fields are exactly
+// what the paper's HTML verification compares: the <title> element and the
+// <meta> tags.
+type Page struct {
+	Title string
+	// Meta maps meta-tag names to their content attributes.
+	Meta map[string]string
+	// Body is free-form body text.
+	Body string
+}
+
+// Render produces the page's HTML document.
+func (p Page) Render() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", p.Title)
+	names := make([]string, 0, len(p.Meta))
+	for name := range p.Meta {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "<meta name=%q content=%q>\n", name, p.Meta[name])
+	}
+	b.WriteString("</head>\n<body>\n")
+	b.WriteString(p.Body)
+	b.WriteString("\n</body>\n</html>\n")
+	return b.String()
+}
+
+// ParsePage extracts the title and meta tags from an HTML document produced
+// by Render (or similarly conventional HTML). It is intentionally lenient:
+// verification must cope with pages it did not generate.
+func ParsePage(html string) Page {
+	p := Page{Meta: make(map[string]string)}
+	if start := strings.Index(html, "<title>"); start >= 0 {
+		rest := html[start+len("<title>"):]
+		if end := strings.Index(rest, "</title>"); end >= 0 {
+			p.Title = rest[:end]
+		}
+	}
+	rest := html
+	for {
+		i := strings.Index(rest, "<meta ")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len("<meta "):]
+		end := strings.Index(rest, ">")
+		if end < 0 {
+			break
+		}
+		tag := rest[:end]
+		name := attrValue(tag, "name")
+		content := attrValue(tag, "content")
+		if name != "" {
+			p.Meta[name] = content
+		}
+	}
+	return p
+}
+
+// attrValue extracts attr="value" from a tag body.
+func attrValue(tag, attr string) string {
+	marker := attr + "="
+	i := strings.Index(tag, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := tag[i+len(marker):]
+	if len(rest) == 0 {
+		return ""
+	}
+	quote := rest[0]
+	if quote != '"' && quote != '\'' {
+		// Unquoted value: read until whitespace.
+		if j := strings.IndexAny(rest, " \t"); j >= 0 {
+			return rest[:j]
+		}
+		return rest
+	}
+	rest = rest[1:]
+	if j := strings.IndexByte(rest, quote); j >= 0 {
+		return unescape(rest[:j])
+	}
+	return ""
+}
+
+func unescape(s string) string {
+	r := strings.NewReplacer("&quot;", `"`, "&#34;", `"`, "&amp;", "&", "&#39;", "'")
+	return r.Replace(s)
+}

@@ -1,0 +1,109 @@
+package ipspace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Allocator hands out non-overlapping IPv4 prefixes and host addresses
+// deterministically. The composition root uses one Allocator for the whole
+// world so provider edge ranges, ISP ranges, and origin addresses never
+// collide.
+//
+// Allocation walks the space upward from a base address; the well-known
+// reserved blocks relevant at that scale (loopback, multicast and above)
+// are skipped.
+type Allocator struct {
+	mu   sync.Mutex
+	next uint32
+}
+
+// NewAllocator returns an allocator that starts at base. A typical world
+// starts at 10.0.0.0 or 20.0.0.0. It panics if base is not IPv4.
+func NewAllocator(base netip.Addr) *Allocator {
+	if !base.Is4() {
+		panic(fmt.Sprintf("ipspace: allocator base %v is not IPv4", base))
+	}
+	return &Allocator{next: addrToU32(base)}
+}
+
+func addrToU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func u32ToAddr(v uint32) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return netip.AddrFrom4(b)
+}
+
+// reserved reports whether v sits in a block the allocator must not hand
+// out: loopback 127/8 and everything from multicast 224/4 upward.
+func reserved(v uint32) bool {
+	if v>>24 == 127 {
+		return true
+	}
+	return v >= 0xE0000000 // 224.0.0.0 and above
+}
+
+// NextPrefix allocates a fresh /bits prefix. It panics when bits is outside
+// [8, 30] or the space is exhausted — both indicate misconfiguration of the
+// world, not runtime conditions.
+func (a *Allocator) NextPrefix(bits int) netip.Prefix {
+	if bits < 8 || bits > 30 {
+		panic(fmt.Sprintf("ipspace: NextPrefix bits %d outside [8,30]", bits))
+	}
+	size := uint32(1) << (32 - bits)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Align up to the prefix size.
+	start := (a.next + size - 1) &^ (size - 1)
+	for reserved(start) || reserved(start+size-1) {
+		start += size
+		if start == 0 {
+			panic("ipspace: IPv4 space exhausted")
+		}
+	}
+	if start+size < start {
+		panic("ipspace: IPv4 space exhausted")
+	}
+	a.next = start + size
+	return netip.PrefixFrom(u32ToAddr(start), bits)
+}
+
+// NextAddr allocates a single fresh address (a /32 block).
+func (a *Allocator) NextAddr() netip.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for reserved(a.next) {
+		a.next++
+		if a.next == 0 {
+			panic("ipspace: IPv4 space exhausted")
+		}
+	}
+	addr := u32ToAddr(a.next)
+	a.next++
+	return addr
+}
+
+// NthAddr returns the nth usable host address inside prefix (0-based,
+// skipping the network address). It panics if n exceeds the host capacity.
+func NthAddr(prefix netip.Prefix, n int) netip.Addr {
+	prefix = prefix.Masked()
+	hostBits := 32 - prefix.Bits()
+	capacity := (uint64(1) << hostBits) - 1 // excluding network address
+	if n < 0 || uint64(n) >= capacity {
+		panic(fmt.Sprintf("ipspace: NthAddr(%v, %d): only %d hosts", prefix, n, capacity))
+	}
+	return u32ToAddr(addrToU32(prefix.Addr()) + uint32(n) + 1)
+}
+
+// HostCapacity returns how many host addresses NthAddr can produce for
+// prefix.
+func HostCapacity(prefix netip.Prefix) int {
+	hostBits := 32 - prefix.Masked().Bits()
+	return int((uint64(1) << hostBits) - 1)
+}

@@ -1,0 +1,133 @@
+package ipspace
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPrefixNonOverlapping(t *testing.T) {
+	a := NewAllocator(netip.MustParseAddr("20.0.0.0"))
+	var prefixes []netip.Prefix
+	for _, bits := range []int{16, 24, 12, 20, 24, 16} {
+		prefixes = append(prefixes, a.NextPrefix(bits))
+	}
+	for i, p := range prefixes {
+		if p.Masked() != p {
+			t.Errorf("prefix %v not masked", p)
+		}
+		for j, q := range prefixes {
+			if i == j {
+				continue
+			}
+			if p.Overlaps(q) {
+				t.Errorf("prefixes %v and %v overlap", p, q)
+			}
+		}
+	}
+}
+
+func TestNextPrefixAligned(t *testing.T) {
+	a := NewAllocator(netip.MustParseAddr("20.0.0.1"))
+	p := a.NextPrefix(16)
+	if p.Addr() != netip.MustParseAddr("20.1.0.0") {
+		t.Fatalf("prefix %v not aligned up from 20.0.0.1", p)
+	}
+}
+
+func TestNextPrefixSkipsLoopback(t *testing.T) {
+	a := NewAllocator(netip.MustParseAddr("126.255.0.0"))
+	p := a.NextPrefix(8)
+	if p.Addr().As4()[0] == 127 {
+		t.Fatalf("allocated loopback prefix %v", p)
+	}
+}
+
+func TestNextPrefixBadBitsPanics(t *testing.T) {
+	a := NewAllocator(netip.MustParseAddr("20.0.0.0"))
+	for _, bits := range []int{0, 7, 31, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NextPrefix(%d) did not panic", bits)
+				}
+			}()
+			a.NextPrefix(bits)
+		}()
+	}
+}
+
+func TestNextAddrSequential(t *testing.T) {
+	a := NewAllocator(netip.MustParseAddr("20.0.0.0"))
+	first := a.NextAddr()
+	second := a.NextAddr()
+	if first != netip.MustParseAddr("20.0.0.0") || second != netip.MustParseAddr("20.0.0.1") {
+		t.Fatalf("got %v, %v", first, second)
+	}
+}
+
+func TestNextAddrAfterPrefixDoesNotOverlap(t *testing.T) {
+	a := NewAllocator(netip.MustParseAddr("20.0.0.0"))
+	p := a.NextPrefix(24)
+	addr := a.NextAddr()
+	if p.Contains(addr) {
+		t.Fatalf("addr %v inside previously allocated %v", addr, p)
+	}
+}
+
+func TestNthAddr(t *testing.T) {
+	p := netip.MustParsePrefix("10.1.2.0/24")
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{0, "10.1.2.1"},
+		{1, "10.1.2.2"},
+		{254, "10.1.2.255"},
+	}
+	for _, tt := range tests {
+		if got := NthAddr(p, tt.n); got != netip.MustParseAddr(tt.want) {
+			t.Errorf("NthAddr(%v, %d) = %v, want %s", p, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNthAddrOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NthAddr out of range did not panic")
+		}
+	}()
+	NthAddr(netip.MustParsePrefix("10.0.0.0/30"), 3)
+}
+
+func TestHostCapacity(t *testing.T) {
+	tests := []struct {
+		prefix string
+		want   int
+	}{
+		{"10.0.0.0/24", 255},
+		{"10.0.0.0/30", 3},
+		{"10.0.0.0/16", 65535},
+	}
+	for _, tt := range tests {
+		if got := HostCapacity(netip.MustParsePrefix(tt.prefix)); got != tt.want {
+			t.Errorf("HostCapacity(%s) = %d, want %d", tt.prefix, got, tt.want)
+		}
+	}
+}
+
+// Property: every address NthAddr yields is contained in the prefix and is
+// never the network address.
+func TestNthAddrQuickProperty(t *testing.T) {
+	f := func(bits8 uint8, n uint16) bool {
+		bits := 20 + int(bits8)%11 // /20 .. /30
+		p := netip.PrefixFrom(netip.MustParseAddr("30.40.0.0"), bits).Masked()
+		idx := int(n) % HostCapacity(p)
+		addr := NthAddr(p, idx)
+		return p.Contains(addr) && addr != p.Addr()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

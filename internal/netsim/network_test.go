@@ -1,0 +1,217 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"rrdps/internal/simtime"
+)
+
+func testNet(t *testing.T) *Network {
+	t.Helper()
+	return New(Config{Clock: simtime.NewSimulated()})
+}
+
+func echoHandler(tag string) Handler {
+	return HandlerFunc(func(req Request) ([]byte, error) {
+		return append([]byte(tag+":"), req.Payload...), nil
+	})
+}
+
+var (
+	testClient = netip.MustParseAddr("198.51.100.7")
+	testServer = Endpoint{Addr: netip.MustParseAddr("203.0.113.10"), Port: PortDNS}
+)
+
+func TestSendUnicast(t *testing.T) {
+	n := testNet(t)
+	n.Register(testServer, RegionVirginia, echoHandler("srv"))
+	got, err := n.Send(testClient, RegionOregon, testServer, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if string(got) != "srv:hello" {
+		t.Fatalf("response = %q, want %q", got, "srv:hello")
+	}
+}
+
+func TestSendUnreachable(t *testing.T) {
+	n := testNet(t)
+	_, err := n.Send(testClient, RegionOregon, testServer, []byte("x"))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestDeregisterMakesUnreachable(t *testing.T) {
+	n := testNet(t)
+	n.Register(testServer, RegionVirginia, echoHandler("srv"))
+	n.Deregister(testServer)
+	_, err := n.Send(testClient, RegionOregon, testServer, []byte("x"))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestBlackholedEndpointTimesOut(t *testing.T) {
+	n := testNet(t)
+	n.Register(testServer, RegionVirginia, echoHandler("srv"))
+	n.SetBlackholed(testServer, true)
+	if _, err := n.Send(testClient, RegionOregon, testServer, []byte("x")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	n.SetBlackholed(testServer, false)
+	if _, err := n.Send(testClient, RegionOregon, testServer, []byte("x")); err != nil {
+		t.Fatalf("after restore, Send: %v", err)
+	}
+}
+
+func TestNilResponseIsTimeout(t *testing.T) {
+	n := testNet(t)
+	n.Register(testServer, RegionVirginia, HandlerFunc(func(Request) ([]byte, error) {
+		return nil, nil // silently ignore, like a DPS NS for an unknown zone
+	}))
+	_, err := n.Send(testClient, RegionOregon, testServer, []byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestAnycastRoutesToNearestPoP(t *testing.T) {
+	n := testNet(t)
+	for _, r := range []Region{RegionOregon, RegionLondon, RegionTokyo} {
+		region := r
+		n.RegisterAnycast(testServer, region, HandlerFunc(func(req Request) ([]byte, error) {
+			return []byte(region.String()), nil
+		}))
+	}
+	tests := []struct {
+		from Region
+		want string
+	}{
+		{RegionOregon, "oregon"},
+		{RegionVirginia, "oregon"},
+		{RegionFrankfurt, "london"},
+		{RegionSydney, "tokyo"},
+		{RegionSingapore, "tokyo"},
+	}
+	for _, tt := range tests {
+		got, err := n.Send(testClient, tt.from, testServer, nil)
+		if err != nil {
+			t.Fatalf("Send from %v: %v", tt.from, err)
+		}
+		if string(got) != tt.want {
+			t.Errorf("from %v routed to %q, want %q", tt.from, got, tt.want)
+		}
+	}
+}
+
+func TestAnycastPerPoPAccounting(t *testing.T) {
+	n := testNet(t)
+	for _, r := range []Region{RegionOregon, RegionLondon} {
+		n.RegisterAnycast(testServer, r, echoHandler(r.String()))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := n.Send(testClient, RegionOregon, testServer, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Send(testClient, RegionFrankfurt, testServer, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.QueryCount(testServer, RegionOregon); got != 3 {
+		t.Errorf("oregon PoP count = %d, want 3", got)
+	}
+	if got := n.QueryCount(testServer, RegionLondon); got != 1 {
+		t.Errorf("london PoP count = %d, want 1", got)
+	}
+	counts := n.QueryCounts(testServer)
+	if len(counts) != 2 || counts[RegionOregon] != 3 || counts[RegionLondon] != 1 {
+		t.Errorf("QueryCounts = %v", counts)
+	}
+}
+
+func TestRegisterReplacesUnicastHandler(t *testing.T) {
+	n := testNet(t)
+	n.Register(testServer, RegionVirginia, echoHandler("old"))
+	n.Register(testServer, RegionVirginia, echoHandler("new"))
+	got, err := n.Send(testClient, RegionOregon, testServer, []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new:p" {
+		t.Fatalf("response = %q, want from replacement handler", got)
+	}
+}
+
+func TestLossRateDropsEverything(t *testing.T) {
+	n := New(Config{
+		Clock:    simtime.NewSimulated(),
+		LossRate: 0.999999999,
+		Rand:     rand.New(rand.NewSource(1)),
+	})
+	n.Register(testServer, RegionVirginia, echoHandler("srv"))
+	if _, err := n.Send(testClient, RegionOregon, testServer, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	sends, drops := n.Stats()
+	if sends != 1 || drops != 1 {
+		t.Fatalf("stats = (%d, %d), want (1, 1)", sends, drops)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	n := testNet(t)
+	if n.Reachable(testServer) {
+		t.Fatal("unregistered endpoint reported reachable")
+	}
+	n.Register(testServer, RegionVirginia, echoHandler("srv"))
+	if !n.Reachable(testServer) {
+		t.Fatal("registered endpoint reported unreachable")
+	}
+	n.SetBlackholed(testServer, true)
+	if n.Reachable(testServer) {
+		t.Fatal("blackholed endpoint reported reachable")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := testNet(t)
+	n.Register(testServer, RegionVirginia, echoHandler("srv"))
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := n.Send(testClient, RegionOregon, testServer, []byte("x")); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	sends, drops := n.Stats()
+	if sends != 64 || drops != 0 {
+		t.Fatalf("stats = (%d, %d), want (64, 0)", sends, drops)
+	}
+}
+
+func TestNewPanicsWithoutClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without clock did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestNewPanicsOnLossWithoutRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with loss but no rand did not panic")
+		}
+	}()
+	New(Config{Clock: simtime.NewSimulated(), LossRate: 0.1})
+}

@@ -1,0 +1,77 @@
+package vectors
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+
+	"rrdps/internal/httpsim"
+	"rrdps/internal/netsim"
+)
+
+// CallbackListener is the attacker's HTTP endpoint for the
+// outbound-connection vector: it records the source address of every
+// request it receives. A pingback-triggered origin reveals itself here.
+type CallbackListener struct {
+	mu      sync.Mutex
+	callers []netip.Addr
+}
+
+// NewCallbackListener creates an empty listener.
+func NewCallbackListener() *CallbackListener { return &CallbackListener{} }
+
+var _ netsim.Handler = (*CallbackListener)(nil)
+
+// ServeNet implements netsim.Handler.
+func (l *CallbackListener) ServeNet(req netsim.Request) ([]byte, error) {
+	l.mu.Lock()
+	l.callers = append(l.callers, req.From)
+	l.mu.Unlock()
+	return httpsim.EncodeResponse(httpsim.Response{StatusCode: 200, Body: "ok"}), nil
+}
+
+// Callers returns the distinct source addresses seen, in first-seen order.
+func (l *CallbackListener) Callers() []netip.Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[netip.Addr]bool, len(l.callers))
+	var out []netip.Addr
+	for _, a := range l.callers {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Reset forgets previously seen callers.
+func (l *CallbackListener) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.callers = nil
+}
+
+// ExtractAddrs pulls every parseable IPv4 address out of free-form text —
+// the primitive behind the sensitive-files and origin-in-content vectors.
+func ExtractAddrs(text string) []netip.Addr {
+	var out []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !(r >= '0' && r <= '9') && r != '.'
+	})
+	for _, f := range fields {
+		if strings.Count(f, ".") != 3 {
+			continue
+		}
+		addr, err := netip.ParseAddr(f)
+		if err != nil || !addr.Is4() {
+			continue
+		}
+		if !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package website
+
+import (
+	"fmt"
+	"net/netip"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+	"rrdps/internal/httpsim"
+	"rrdps/internal/netsim"
+)
+
+// Exposure describes the origin-exposure attack surface a site carries
+// beyond plain DNS (paper Table I). Each flag corresponds to one vector;
+// the internal/vectors scanners exploit them.
+type Exposure struct {
+	// Subdomains are extra labels (e.g. "dev", "staging") whose A records
+	// keep pointing at the origin even while www is behind a DPS — the
+	// admin forgot to proxy them.
+	Subdomains []string
+	// MailRecord adds an A record for the MX host at the origin address
+	// ("DNS records" vector).
+	MailRecord bool
+	// BodyLeak embeds the origin address in the landing page body
+	// ("origin in content" vector).
+	BodyLeak bool
+	// SensitiveFile serves a config remnant at /backup.cfg containing the
+	// origin address ("sensitive files" vector).
+	SensitiveFile bool
+	// Certificate presents a TLS certificate for the site's names on the
+	// origin address ("SSL certificates" vector).
+	Certificate bool
+	// Pingback enables the outbound-connection endpoint ("outbound
+	// connection" vector).
+	Pingback bool
+}
+
+// Any reports whether at least one vector is enabled.
+func (e Exposure) Any() bool {
+	return len(e.Subdomains) > 0 || e.MailRecord || e.BodyLeak ||
+		e.SensitiveFile || e.Certificate || e.Pingback
+}
+
+// SensitiveFilePath is where the config remnant is served.
+const SensitiveFilePath = "/backup.cfg"
+
+// bodyLeakLine renders the in-page origin leak.
+func bodyLeakLine(addr netip.Addr) string {
+	return fmt.Sprintf("<!-- served-by: %v -->", addr)
+}
+
+// sensitiveFileBody renders the config remnant.
+func sensitiveFileBody(addr netip.Addr) string {
+	return fmt.Sprintf("# legacy backup configuration\ndb_host=%v\n", addr)
+}
+
+// applyExposureLocked (re)applies address-dependent exposure artifacts
+// after creation or an origin move.
+func (s *Site) applyExposureLocked(page httpsim.Page) {
+	addr := s.originAddr
+	if s.exposure.BodyLeak {
+		page.Body += "\n" + bodyLeakLine(addr)
+	}
+	s.origin.SetPage(page)
+	if s.exposure.SensitiveFile {
+		s.origin.SetFiles(map[string]string{SensitiveFilePath: sensitiveFileBody(addr)})
+	}
+	if s.exposure.Pingback {
+		s.origin.SetPingback(httpsim.NewClient(s.infra.Network, addr, s.region))
+	}
+	if s.exposure.Certificate {
+		if s.certServer == nil {
+			s.certServer = httpsim.NewCertServer(string(s.domain.Apex), string(s.domain.WWW()))
+		}
+		s.infra.Network.Register(
+			netsim.Endpoint{Addr: addr, Port: httpsim.PortHTTPS}, s.region, s.certServer)
+	}
+}
+
+// exposureRecordsLocked returns the zone records the exposure adds, built
+// against the current origin address.
+func (s *Site) exposureRecordsLocked() []dnsmsg.RR {
+	var out []dnsmsg.RR
+	for _, label := range s.exposure.Subdomains {
+		out = append(out, dnsmsg.NewA(s.domain.Apex.Child(label), DefaultATTL, s.originAddr))
+	}
+	if s.exposure.MailRecord {
+		out = append(out, dnsmsg.NewA(s.domain.Apex.Child("mail"), DefaultATTL, s.originAddr))
+	}
+	return out
+}
+
+// syncExposureRecordsLocked writes the exposure records into the site's
+// own zone and, when the site is NS-rerouted, into the provider-hosted
+// zone (as unproxied records), mirroring an admin importing their zone.
+func (s *Site) syncExposureRecordsLocked() error {
+	records := s.exposureRecordsLocked()
+	for _, rr := range records {
+		mustZoneSet(s.zone, rr)
+	}
+	if s.provider == "" || s.method != dps.ReroutingNS {
+		return nil
+	}
+	p, err := s.infra.provider(s.provider)
+	if err != nil {
+		return err
+	}
+	for _, rr := range records {
+		if err := p.UpsertHostedRecord(s.domain.Apex, rr); err != nil {
+			return fmt.Errorf("syncing exposure records: %w", err)
+		}
+	}
+	// The MX record itself also rides along into the hosted zone.
+	for _, mx := range s.zone.Get(s.domain.Apex, dnsmsg.TypeMX) {
+		if err := p.UpsertHostedRecord(s.domain.Apex, mx); err != nil {
+			return fmt.Errorf("syncing MX record: %w", err)
+		}
+	}
+	return nil
+}
+
+// Exposure returns the site's exposure profile.
+func (s *Site) Exposure() Exposure {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exp := s.exposure
+	exp.Subdomains = append([]string(nil), s.exposure.Subdomains...)
+	return exp
+}

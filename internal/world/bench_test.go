@@ -1,0 +1,68 @@
+package world
+
+import (
+	"testing"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/netsim"
+)
+
+func BenchmarkWorldBuild2k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := PaperConfig(2000)
+		cfg.Seed = int64(i)
+		New(cfg)
+	}
+}
+
+func BenchmarkAdvanceDay(b *testing.B) {
+	w := New(smallConfig(2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.AdvanceDay()
+	}
+}
+
+func BenchmarkResolveThroughWorld(b *testing.B) {
+	w := New(smallConfig(1000))
+	res := w.NewResolver(netsim.RegionOregon)
+	sites := w.Sites()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site := sites[i%len(sites)]
+		if _, err := res.Resolve(site.WWW(), dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLargeWorldSmoke builds a 20k-site world and runs one collection-scale
+// resolution sweep; skipped in -short mode.
+func TestLargeWorldSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large world smoke test skipped in -short mode")
+	}
+	cfg := PaperConfig(20_000)
+	cfg.Seed = 99
+	w := New(cfg)
+	if got := len(w.Sites()); got != 20_000 {
+		t.Fatalf("sites = %d", got)
+	}
+	res := w.NewResolver(netsim.RegionLondon)
+	failures := 0
+	for i, s := range w.Sites() {
+		if i%40 != 0 { // sample 500 sites
+			continue
+		}
+		if _, err := res.Resolve(s.WWW(), dnsmsg.TypeA); err != nil {
+			failures++
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d resolution failures in a healthy world", failures)
+	}
+	w.AdvanceDays(3)
+}

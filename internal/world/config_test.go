@@ -1,0 +1,152 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"rrdps/internal/dps"
+)
+
+func TestPaperConfigDefaults(t *testing.T) {
+	cfg := PaperConfig(1000)
+	if cfg.NumSites != 1000 {
+		t.Fatalf("NumSites = %d", cfg.NumSites)
+	}
+	if cfg.AdoptionOverallRate != 0.1485 || cfg.AdoptionTopRate != 0.3898 {
+		t.Fatal("adoption rates drifted from the paper's")
+	}
+	total := 0.0
+	for _, share := range cfg.ProviderShares {
+		total += share
+	}
+	if math.Abs(total-1.0) > 0.01 {
+		t.Fatalf("provider shares sum to %v", total)
+	}
+	if cfg.ProviderShares[dps.Cloudflare] < cfg.ProviderShares[dps.Incapsula] {
+		t.Fatal("cloudflare share below incapsula")
+	}
+	if len(cfg.UnchangedRates) != 11 {
+		t.Fatalf("unchanged rates cover %d providers, want 11", len(cfg.UnchangedRates))
+	}
+	// Table V extremes.
+	if cfg.UnchangedRates[dps.CDN77] < cfg.UnchangedRates[dps.Cloudflare] ||
+		cfg.UnchangedRates[dps.Cloudfront] > cfg.UnchangedRates[dps.Cloudflare] {
+		t.Fatal("Table V ordering broken: CDN77 highest, Cloudfront lowest")
+	}
+	if cfg.PurgeDelayFree >= cfg.PurgeDelayPaid {
+		t.Fatal("free plan must purge sooner than paid")
+	}
+}
+
+func TestRestAdoptionRate(t *testing.T) {
+	cfg := PaperConfig(10_000)
+	rest := cfg.restAdoptionRate()
+	// Overall = top*0.01 + rest*0.99 must reconstruct the overall rate.
+	overall := cfg.AdoptionTopRate*0.01 + rest*0.99
+	if math.Abs(overall-cfg.AdoptionOverallRate) > 1e-9 {
+		t.Fatalf("reconstructed overall = %v, want %v", overall, cfg.AdoptionOverallRate)
+	}
+	// A top rate exceeding overall/topFrac clamps to zero.
+	cfg.AdoptionTopRate = 1.0
+	cfg.AdoptionOverallRate = 0.005
+	if got := cfg.restAdoptionRate(); got != 0 {
+		t.Fatalf("clamped rest rate = %v", got)
+	}
+}
+
+func TestTopRankCutoff(t *testing.T) {
+	tests := []struct{ sites, want int }{
+		{1_000_000, 10_000},
+		{10_000, 100},
+		{100, 1},
+		{50, 1},
+	}
+	for _, tt := range tests {
+		cfg := PaperConfig(tt.sites)
+		if got := cfg.topRankCutoff(); got != tt.want {
+			t.Fatalf("cutoff(%d) = %d, want %d", tt.sites, got, tt.want)
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.NumSites = 0 },
+		func(c *Config) { c.AdoptionOverallRate = 1.5 },
+		func(c *Config) { c.ProviderShares = nil },
+		func(c *Config) { c.ProviderShares = map[dps.ProviderKey]float64{"bogus": 1} },
+	}
+	for i, mutate := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: validate did not panic", i)
+				}
+			}()
+			cfg := PaperConfig(100)
+			mutate(&cfg)
+			New(cfg)
+		}()
+	}
+}
+
+func TestExposureRatesGenerateSurface(t *testing.T) {
+	cfg := PaperConfig(800)
+	cfg.Seed = 15
+	w := New(cfg)
+	withAny := 0
+	for _, s := range w.Sites() {
+		if s.Exposure().Any() {
+			withAny++
+		}
+	}
+	frac := float64(withAny) / 800
+	// With the default per-vector rates, most sites carry something.
+	if frac < 0.4 || frac > 0.95 {
+		t.Fatalf("sites with attack surface = %.2f", frac)
+	}
+}
+
+func TestOriginSpaces(t *testing.T) {
+	w := New(smallConfig(100))
+	spaces := w.OriginSpaces()
+	if len(spaces) != 4 {
+		t.Fatalf("origin spaces = %d, want 4 ISPs", len(spaces))
+	}
+	// Every site's origin falls inside one of them.
+	for _, s := range w.Sites() {
+		found := false
+		for _, p := range spaces {
+			if p.Contains(s.OriginAddr()) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("origin %v outside all ISP spaces", s.OriginAddr())
+		}
+	}
+}
+
+func TestMultiCDNDomainsSkipChurn(t *testing.T) {
+	cfg := PaperConfig(600)
+	cfg.Seed = 17
+	cfg.MultiCDNRate = 0.05
+	cfg.LeaveRate = 1.0 // every normal site would leave instantly
+	cfg.JoinRate = 0
+	cfg.PauseRate = 0
+	cfg.SwitchRate = 0
+	w := New(cfg)
+	domains := w.MultiCDNDomains()
+	if len(domains) == 0 {
+		t.Fatal("no multi-CDN domains")
+	}
+	w.AdvanceDays(3)
+	for _, e := range w.Events() {
+		for _, apex := range domains {
+			if e.Apex == apex {
+				t.Fatalf("multi-CDN site %s churned: %+v", apex, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package rrdps
+
+import (
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/collect"
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/core/exposure"
+	"rrdps/internal/core/filter"
+	"rrdps/internal/core/htmlverify"
+	"rrdps/internal/core/match"
+	"rrdps/internal/core/report"
+	"rrdps/internal/core/rrscan"
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+	"rrdps/internal/netsim"
+	"rrdps/internal/vectors"
+	"rrdps/internal/website"
+	"rrdps/internal/world"
+)
+
+// This file is the library's public API: a curated facade over the
+// internal packages. Downstream users build a World, run the campaign
+// runners, and render reports — the same workflow the cmd/ binaries and
+// examples/ follow.
+
+// ---------------------------------------------------------------------------
+// World construction.
+
+// Config parametrizes a simulated Internet; see PaperConfig for the
+// calibrated defaults.
+type Config = world.Config
+
+// ExposureRates sets the Table I attack-surface probabilities for
+// generated sites.
+type ExposureRates = world.ExposureRates
+
+// World is a fully wired simulated Internet: DNS backbone, the eleven
+// Table II providers, a hosting service, and a ranked website population.
+type World = world.World
+
+// Event is one ground-truth usage behaviour the world generated.
+type Event = world.Event
+
+// PaperConfig returns a configuration calibrated to the paper's reported
+// aggregates for a population of numSites.
+func PaperConfig(numSites int) Config { return world.PaperConfig(numSites) }
+
+// NewWorld builds a world; identical configs build identical worlds.
+func NewWorld(cfg Config) *World { return world.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Campaign runners (the paper's experiments).
+
+// Dynamics runs the §IV usage-dynamics campaign (Figs. 2/3/5/6, Table V).
+type Dynamics = experiment.Dynamics
+
+// DynamicsResult carries the §IV campaign outputs.
+type DynamicsResult = experiment.DynamicsResult
+
+// Residual runs the §V residual-resolution campaign (Table VI, Fig. 9).
+type Residual = experiment.Residual
+
+// ResidualResult carries the §V campaign outputs.
+type ResidualResult = experiment.ResidualResult
+
+// PurgeTrial replicates the §V-A.3 controlled purge experiment.
+type PurgeTrial = experiment.PurgeTrial
+
+// ---------------------------------------------------------------------------
+// Pipeline building blocks, for callers composing their own campaigns.
+
+// Collector takes daily A/CNAME/NS snapshots.
+type Collector = collect.Collector
+
+// Snapshot is one day's collected records.
+type Snapshot = collect.Snapshot
+
+// Matcher attributes DNS records to providers (A/CNAME/NS matching).
+type Matcher = match.Matcher
+
+// Classifier derives the Table III ON/OFF/NONE status.
+type Classifier = status.Classifier
+
+// BehaviorTracker detects the Table IV behaviours via the Fig. 4 FSM.
+type BehaviorTracker = behavior.Tracker
+
+// Verifier performs the HTML verification of §IV-C.3.
+type Verifier = htmlverify.Verifier
+
+// FilterPipeline is the Fig. 8 hidden-record filtering procedure.
+type FilterPipeline = filter.Pipeline
+
+// FilterReport summarizes one filtering pass.
+type FilterReport = filter.Report
+
+// ExposureTracker accumulates weekly scans into the Fig. 9 timeline.
+type ExposureTracker = exposure.Tracker
+
+// Scanner issues the §V direct scans from vantage-point clients.
+type Scanner = rrscan.Scanner
+
+// VectorScanner runs the eight Table I origin-exposure vectors.
+type VectorScanner = vectors.Scanner
+
+// VectorAudit aggregates a Table I audit over many sites.
+type VectorAudit = vectors.AuditResult
+
+// NewCollector builds a collector over a resolver and domain list.
+var NewCollector = collect.New
+
+// NewMatcher builds a matcher over an AS registry and provider profiles.
+var NewMatcher = match.New
+
+// NewClassifier builds a Table III classifier.
+var NewClassifier = status.New
+
+// NewBehaviorTracker builds a behaviour tracker with an exclusion list.
+var NewBehaviorTracker = behavior.NewTracker
+
+// NewVerifier builds an HTML verifier over an HTTP client.
+var NewVerifier = htmlverify.New
+
+// NewFilterPipeline builds the Fig. 8 pipeline.
+var NewFilterPipeline = filter.New
+
+// NewExposureTracker builds a week-over-week exposure tracker.
+var NewExposureTracker = exposure.NewTracker
+
+// NewScanner builds a direct scanner over vantage clients.
+var NewScanner = rrscan.NewScanner
+
+// DiscoverNameservers extracts a provider's NS-hosting nameservers from
+// snapshots.
+var DiscoverNameservers = rrscan.DiscoverNameservers
+
+// ---------------------------------------------------------------------------
+// Providers, sites, DNS.
+
+// ProviderKey identifies one of the eleven Table II providers.
+type ProviderKey = dps.ProviderKey
+
+// Provider profile keys.
+const (
+	Akamai     = dps.Akamai
+	Cloudflare = dps.Cloudflare
+	Cloudfront = dps.Cloudfront
+	CDN77      = dps.CDN77
+	CDNetworks = dps.CDNetworks
+	DOSarrest  = dps.DOSarrest
+	Edgecast   = dps.Edgecast
+	Fastly     = dps.Fastly
+	Incapsula  = dps.Incapsula
+	Limelight  = dps.Limelight
+	Stackpath  = dps.Stackpath
+)
+
+// Rerouting identifies a DNS-based rerouting mechanism.
+type Rerouting = dps.Rerouting
+
+// Rerouting mechanisms (§II-A.2).
+const (
+	ReroutingA     = dps.ReroutingA
+	ReroutingCNAME = dps.ReroutingCNAME
+	ReroutingNS    = dps.ReroutingNS
+)
+
+// Plan is a DPS service plan (free plans purge residual records sooner).
+type Plan = dps.Plan
+
+// Plans.
+const (
+	PlanFree = dps.PlanFree
+	PlanPaid = dps.PlanPaid
+)
+
+// Profile is a provider's static Table II description.
+type Profile = dps.Profile
+
+// Profiles returns the eleven Table II provider profiles.
+func Profiles() []Profile { return dps.Profiles() }
+
+// Site is one website: origin server, own DNS zone, admin operations.
+type Site = website.Site
+
+// SiteExposure is a site's Table I attack surface.
+type SiteExposure = website.Exposure
+
+// Name is a normalized DNS name.
+type Name = dnsmsg.Name
+
+// ParseName validates and normalizes a domain name.
+var ParseName = dnsmsg.ParseName
+
+// Resolver is an iterative DNS resolver with a purgeable TTL cache.
+type Resolver = dnsresolver.Resolver
+
+// DNSClient issues direct queries to specific nameservers (the attacker's
+// tool in §III-B).
+type DNSClient = dnsresolver.Client
+
+// Region locates vantage points and PoPs.
+type Region = netsim.Region
+
+// VantageRegions returns the paper's five measurement vantage points.
+var VantageRegions = netsim.VantageRegions
+
+// ---------------------------------------------------------------------------
+// Reporting.
+
+// Report renderers for every table and figure (text and CSV forms).
+var (
+	RenderTableI    = report.TableI
+	RenderTableII   = report.TableII
+	RenderTableIII  = report.TableIII
+	RenderTableIV   = report.TableIV
+	RenderFigure2   = report.Figure2
+	RenderFigure3   = report.Figure3
+	RenderFigure5   = report.Figure5
+	RenderFigure6   = report.Figure6
+	RenderFigure7   = report.Figure7
+	RenderFigure9   = report.Figure9
+	RenderTableV    = report.TableV
+	RenderTableVI   = report.TableVI
+	Figure2CSV      = report.Figure2CSV
+	Figure3CSV      = report.Figure3CSV
+	Figure5CSV      = report.Figure5CSV
+	Figure9CSV      = report.Figure9CSV
+	TableVCSV       = report.TableVCSV
+	TableVICSV      = report.TableVICSV
+	RenderPauseCDFs = report.PauseCDF
+)

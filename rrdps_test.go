@@ -1,0 +1,102 @@
+package rrdps_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrdps"
+)
+
+// TestFacadeEndToEnd drives the whole library through the public API only:
+// build a world, run both campaigns, render reports.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := rrdps.PaperConfig(400)
+	cfg.Seed = 7001
+	cfg.JoinRate *= 20
+	cfg.LeaveRate *= 20
+	cfg.PauseRate *= 20
+	cfg.SwitchRate *= 20
+	w := rrdps.NewWorld(cfg)
+
+	dyn := rrdps.Dynamics{World: w, Days: 7}.Run()
+	if dyn.AvgAdoptionRate() <= 0 {
+		t.Fatal("no adoption measured")
+	}
+	for _, render := range []func(rrdps.DynamicsResult) string{
+		rrdps.RenderFigure2, rrdps.RenderFigure3, rrdps.RenderFigure5,
+		rrdps.RenderFigure6, rrdps.RenderTableV,
+	} {
+		if out := render(dyn); out == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+
+	cfg2 := rrdps.PaperConfig(400)
+	cfg2.Seed = 7002
+	cfg2.LeaveRate *= 20
+	cfg2.SwitchRate *= 20
+	res := rrdps.Residual{World: rrdps.NewWorld(cfg2), Weeks: 2, WarmupDays: 14}.Run()
+	if out := rrdps.RenderTableVI(res); !strings.Contains(out, "Cloudflare") {
+		t.Fatalf("TableVI rendering: %q", out)
+	}
+	if out := rrdps.TableVICSV(res); !strings.Contains(out, "provider,week,hidden,verified") {
+		t.Fatalf("TableVI CSV: %q", out)
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	profiles := rrdps.Profiles()
+	if len(profiles) != 11 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	residual := 0
+	for _, p := range profiles {
+		if p.Residual() {
+			residual++
+		}
+	}
+	if residual != 2 {
+		t.Fatalf("residual-policy providers = %d, want 2 (Cloudflare, Incapsula)", residual)
+	}
+	if out := rrdps.RenderTableII(); !strings.Contains(out, "Incapsula") {
+		t.Fatal("TableII rendering incomplete")
+	}
+}
+
+func TestFacadeSiteOperations(t *testing.T) {
+	cfg := rrdps.PaperConfig(120)
+	cfg.Seed = 7003
+	cfg.AdoptionOverallRate = 0
+	cfg.AdoptionTopRate = 0
+	w := rrdps.NewWorld(cfg)
+	site := w.Sites()[0]
+
+	if err := site.Join(rrdps.Cloudflare, rrdps.ReroutingNS, rrdps.PlanFree); err != nil {
+		t.Fatal(err)
+	}
+	if !site.Protected() {
+		t.Fatal("site not protected after join")
+	}
+	if err := site.Leave(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The purge trial also runs through the facade.
+	week, err := rrdps.PurgeTrial{World: w, Provider: rrdps.Incapsula, Plan: rrdps.PlanFree}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if week != 4 {
+		t.Fatalf("purge week = %d", week)
+	}
+}
+
+func TestFacadeNameParsing(t *testing.T) {
+	n, err := rrdps.ParseName("WWW.Example.COM.")
+	if err != nil || n != rrdps.Name("www.example.com") {
+		t.Fatalf("ParseName = %q, %v", n, err)
+	}
+	if len(rrdps.VantageRegions()) != 5 {
+		t.Fatal("vantage regions != 5")
+	}
+}
