@@ -6,6 +6,7 @@
 package rrdps_test
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -381,6 +382,109 @@ func BenchmarkFigure9ExposureTimeline(b *testing.B) {
 	}
 	b.ReportMetric(float64(always), "always_exposed")
 	b.ReportMetric(float64(appeared), "appear_disappear")
+}
+
+// ---------------------------------------------------------------------------
+// Scan-path parallelism — serial vs worker-pool throughput on the §V hot
+// paths. `go test -bench=BenchmarkScan -benchmem` compares the variants;
+// the parallel results are value-identical to serial (see the
+// ParallelMatchesSerial tests).
+
+// scanFixture builds the direct-scan inputs once against the shared world.
+var (
+	scanFixOnce sync.Once
+	scanNSAddrs []netip.Addr
+	scanVantage []*dnsresolver.Client
+	scanLib     *rrscan.CNAMELibrary
+	scanScanned map[dnsmsg.Name][]netip.Addr
+	scanRes     *dnsresolver.Resolver
+)
+
+func scanFixture() {
+	scanFixOnce.Do(func() {
+		w, matcher, domains := sharedWorld()
+		scanRes = w.NewResolver(netsim.RegionOregon)
+		collector := collect.New(scanRes, domains)
+		collector.SetWorkers(8)
+		snap := collector.Collect(w.Day())
+		profile, _ := dps.ProfileFor(dps.Cloudflare)
+		_, scanNSAddrs = rrscan.DiscoverNameservers([]collect.Snapshot{snap}, profile, scanRes)
+		for _, region := range netsim.VantageRegions() {
+			scanVantage = append(scanVantage, w.NewResolver(region).Client())
+		}
+		scanLib = rrscan.NewCNAMELibrary(dps.Incapsula, matcher)
+		scanLib.AddSnapshot(snap)
+		scanScanned = rrscan.NewScanner(scanVantage).ScanDirect(scanNSAddrs, domains)
+	})
+}
+
+// BenchmarkScanDirect measures one full direct scan of every domain per
+// op, at increasing worker counts.
+func BenchmarkScanDirect(b *testing.B) {
+	scanFixture()
+	_, _, domains := sharedWorld()
+	if len(scanNSAddrs) == 0 {
+		b.Fatal("no nameservers discovered")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scanner := rrscan.NewScanner(scanVantage)
+			scanner.SetWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var got int
+			for i := 0; i < b.N; i++ {
+				got = len(scanner.ScanDirect(scanNSAddrs, domains))
+			}
+			b.ReportMetric(float64(len(domains)), "domains/op")
+			b.ReportMetric(float64(got), "answered")
+		})
+	}
+}
+
+// BenchmarkScanResolveAll measures the Incapsula CNAME re-resolution pass.
+func BenchmarkScanResolveAll(b *testing.B) {
+	scanFixture()
+	if scanLib.Size() == 0 {
+		b.Skip("no incapsula CNAMEs collected")
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			scanLib.SetWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scanRes.PurgeCache()
+				if got := scanLib.ResolveAll(scanRes); len(got) == 0 {
+					b.Fatal("empty re-resolution")
+				}
+			}
+			b.ReportMetric(float64(scanLib.Size()), "apexes/op")
+		})
+	}
+}
+
+// BenchmarkScanFilterPipeline measures the Fig. 8 filter pass over one
+// scan's answers.
+func BenchmarkScanFilterPipeline(b *testing.B) {
+	scanFixture()
+	w, matcher, _ := sharedWorld()
+	verifier := htmlverify.New(w.NewHTTPClient(netsim.RegionOregon))
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pipeline := filter.New(matcher, scanRes, verifier)
+			pipeline.SetWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rep filter.Report
+			for i := 0; i < b.N; i++ {
+				scanRes.PurgeCache()
+				rep = pipeline.Run(dps.Cloudflare, scanScanned)
+			}
+			b.ReportMetric(float64(rep.Scanned), "scanned")
+			b.ReportMetric(float64(len(rep.Hidden)), "hidden")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rrdps/internal/core/experiment"
@@ -21,9 +22,10 @@ func main() {
 	days := flag.Int("days", 42, "measurement days (the paper runs six weeks)")
 	seed := flag.Int64("seed", 1815, "world seed")
 	boost := flag.Float64("churn-boost", 1, "multiply all behaviour hazards (small worlds need >1 for dense figures)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the daily collection loop (1 = serial; snapshots are identical either way)")
 	flag.Parse()
-	if *sites <= 0 || *days <= 0 || *boost <= 0 {
-		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, and -churn-boost must be positive")
+	if *sites <= 0 || *days <= 0 || *boost <= 0 || *workers <= 0 {
+		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, -churn-boost, and -workers must be positive")
 		os.Exit(2)
 	}
 
@@ -39,7 +41,7 @@ func main() {
 	w := world.New(cfg)
 	fmt.Printf("world ready in %v; running %d-day campaign...\n\n", time.Since(start).Round(time.Millisecond), *days)
 
-	res := experiment.Dynamics{World: w, Days: *days}.Run()
+	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers}.Run()
 
 	fmt.Println(res.String())
 	fmt.Println()

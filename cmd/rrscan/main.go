@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rrdps/internal/core/experiment"
@@ -25,9 +26,10 @@ func main() {
 	boost := flag.Float64("churn-boost", 8, "multiply leave/switch hazards so a small world yields residual records")
 	warmup := flag.Int("warmup", 28, "days of world history to simulate before the first scan")
 	incStart := flag.Int("incapsula-start", 0, "week after which the Incapsula CNAME tracking begins (the paper covers its last three weeks)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the collection/scan/filter loops (1 = serial; results are identical either way)")
 	flag.Parse()
-	if *sites <= 0 || *weeks <= 0 || *boost <= 0 {
-		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, and -churn-boost must be positive")
+	if *sites <= 0 || *weeks <= 0 || *boost <= 0 || *workers <= 0 {
+		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, -churn-boost, and -workers must be positive")
 		os.Exit(2)
 	}
 
@@ -47,6 +49,7 @@ func main() {
 		Weeks:              *weeks,
 		WarmupDays:         *warmup,
 		IncapsulaStartWeek: *incStart,
+		Workers:            *workers,
 	}.Run()
 
 	fmt.Println(res.String())

@@ -45,7 +45,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "worldgen: no site %s in this world (try -sites/-seed)\n", apex)
 			os.Exit(1)
 		}
-		if err := site.Zone().WriteTo(os.Stdout); err != nil {
+		if err := site.Zone().WriteText(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "worldgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -85,42 +85,45 @@ func (c *Collector) SetWorkers(n int) {
 
 // Collect takes one snapshot labelled with day. The resolver cache is
 // purged first, exactly as the paper does between daily experiments.
+//
+// With workers > 1 the domains fan out over a bounded pool. Each worker
+// writes only its own pre-assigned slots of a pre-sized results slice — no
+// results channel, no fan-in goroutine — and the snapshot map is assembled
+// afterwards on the caller's goroutine. Snapshots are value-identical to
+// serial collection because (a) each domain's record is computed by exactly
+// one worker from the same quiescent world (the campaign runners advance
+// the world only between snapshots), (b) the resolver's sharded cache only
+// memoizes answers that are stable while the world is quiescent, so cache
+// hit/miss interleaving cannot change any record's value, and (c) the
+// snapshot map is keyed by apex, so assembly order is irrelevant.
 func (c *Collector) Collect(day int) Snapshot {
 	c.resolver.PurgeCache()
 	snap := Snapshot{Day: day, Records: make(map[dnsmsg.Name]Record, len(c.domains))}
-	if c.workers <= 1 {
+	if c.workers <= 1 || len(c.domains) <= 1 {
 		for _, d := range c.domains {
 			snap.Records[d.Apex] = c.collectOne(d)
 		}
 		return snap
 	}
 
-	type result struct {
-		apex dnsmsg.Name
-		rec  Record
+	workers := c.workers
+	if workers > len(c.domains) {
+		workers = len(c.domains)
 	}
-	jobs := make(chan alexa.Domain)
-	results := make(chan result)
+	records := make([]Record, len(c.domains))
 	var wg sync.WaitGroup
-	for i := 0; i < c.workers; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for d := range jobs {
-				results <- result{apex: d.Apex, rec: c.collectOne(d)}
+			for i := w; i < len(c.domains); i += workers {
+				records[i] = c.collectOne(c.domains[i])
 			}
-		}()
+		}(w)
 	}
-	go func() {
-		for _, d := range c.domains {
-			jobs <- d
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-	for r := range results {
-		snap.Records[r.apex] = r.rec
+	wg.Wait()
+	for i, d := range c.domains {
+		snap.Records[d.Apex] = records[i]
 	}
 	return snap
 }

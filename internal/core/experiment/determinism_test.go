@@ -59,3 +59,74 @@ func TestResidualFullyDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestResidualParallelMatchesSerial: the whole §V campaign with eight
+// workers on every loop produces the same artifacts as the serial run —
+// the end-to-end determinism guarantee the per-package tests check in
+// isolation.
+func TestResidualParallelMatchesSerial(t *testing.T) {
+	build := func() *world.World {
+		return world.New(countermeasureConfig(913))
+	}
+	serial := Residual{World: build(), Weeks: 2, WarmupDays: 14}.Run()
+	parallel := Residual{World: build(), Weeks: 2, WarmupDays: 14, Workers: 8}.Run()
+
+	if serial.NameserverCount != parallel.NameserverCount {
+		t.Fatalf("nameserver counts differ: serial %d, parallel %d",
+			serial.NameserverCount, parallel.NameserverCount)
+	}
+	sw, sh, sv := serial.CFExposure.WeeklyCounts()
+	pw, ph, pv := parallel.CFExposure.WeeklyCounts()
+	if !reflect.DeepEqual(sw, pw) || !reflect.DeepEqual(sh, ph) || !reflect.DeepEqual(sv, pv) {
+		t.Fatal("CF weekly counts differ between serial and parallel campaigns")
+	}
+	if !reflect.DeepEqual(serial.CFExposure.ExposedApexes(), parallel.CFExposure.ExposedApexes()) {
+		t.Fatal("CF exposed apex sets differ")
+	}
+	if len(serial.Incapsula) != len(parallel.Incapsula) {
+		t.Fatalf("incapsula week counts differ: serial %d, parallel %d",
+			len(serial.Incapsula), len(parallel.Incapsula))
+	}
+	for i := range serial.Cloudflare {
+		if !reflect.DeepEqual(serial.Cloudflare[i].Report, parallel.Cloudflare[i].Report) {
+			t.Fatalf("CF week %d report differs between serial and parallel", i+1)
+		}
+	}
+	for i := range serial.Incapsula {
+		if !reflect.DeepEqual(serial.Incapsula[i].Report, parallel.Incapsula[i].Report) {
+			t.Fatalf("incapsula week %d report differs between serial and parallel", i+1)
+		}
+	}
+}
+
+// TestDynamicsParallelMatchesSerial covers the §IV campaign's parallel
+// collection path the same way.
+func TestDynamicsParallelMatchesSerial(t *testing.T) {
+	build := func() *world.World {
+		cfg := world.PaperConfig(500)
+		cfg.Seed = 909
+		cfg.JoinRate = 0.01
+		cfg.LeaveRate = 0.02
+		cfg.PauseRate = 0.03
+		cfg.SwitchRate = 0.01
+		return world.New(cfg)
+	}
+	serial := Dynamics{World: build(), Days: 8}.Run()
+	parallel := Dynamics{World: build(), Days: 8, Workers: 8}.Run()
+
+	if !reflect.DeepEqual(serial.Detections, parallel.Detections) {
+		t.Fatal("detections differ between serial and parallel campaigns")
+	}
+	if !reflect.DeepEqual(serial.PauseWindows, parallel.PauseWindows) {
+		t.Fatal("pause windows differ")
+	}
+	if !reflect.DeepEqual(serial.CountsByDay, parallel.CountsByDay) {
+		t.Fatal("daily counts differ")
+	}
+	if !reflect.DeepEqual(serial.Unchanged, parallel.Unchanged) {
+		t.Fatal("Table V data differs")
+	}
+	if !reflect.DeepEqual(serial.Breakdowns, parallel.Breakdowns) {
+		t.Fatal("adoption breakdowns differ")
+	}
+}

@@ -166,6 +166,10 @@ type Dynamics struct {
 	LongIntervalProb float64
 	// Rand drives interval jitter; required when LongIntervalProb > 0.
 	Rand *rand.Rand
+	// Workers sets the daily collection parallelism. Zero or one means
+	// serial; snapshots stay value-identical either way because the world
+	// only advances between collection passes.
+	Workers int
 }
 
 // _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
@@ -204,6 +208,9 @@ func (d Dynamics) Run() DynamicsResult {
 		domains = append(domains, s.Domain())
 	}
 	collector := collect.New(resolver, domains)
+	if d.Workers > 1 {
+		collector.SetWorkers(d.Workers)
+	}
 	matcher := match.New(w.Registry, dps.Profiles())
 	classifier := status.New(matcher)
 	var tracker *behavior.Tracker // built after the first snapshot (multi-CDN detection)

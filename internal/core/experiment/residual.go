@@ -61,6 +61,13 @@ type Residual struct {
 	// every week Cloudflare and Incapsula audit their terminated
 	// customers against public resolution and purge mismatches.
 	ProviderAudit bool
+	// Workers sets the parallelism of every measurement loop in the
+	// campaign — collection, the direct scan, the CNAME re-resolution, and
+	// the filter pipeline. Zero or one means serial. Results are
+	// value-identical to a serial run: the world only advances between
+	// measurement passes, and each pass fans out with deterministic
+	// per-index assignment and ordered fan-in.
+	Workers int
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
@@ -86,6 +93,13 @@ func (r Residual) Run() ResidualResult {
 	}
 	scanner := rrscan.NewScanner(vantage)
 	cnameLib := rrscan.NewCNAMELibrary(dps.Incapsula, matcher)
+
+	if r.Workers > 1 {
+		collector.SetWorkers(r.Workers)
+		scanner.SetWorkers(r.Workers)
+		cnameLib.SetWorkers(r.Workers)
+		pipeline.SetWorkers(r.Workers)
+	}
 
 	res := ResidualResult{
 		Weeks:       r.Weeks,

@@ -7,8 +7,10 @@
 package filter
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"rrdps/internal/core/htmlverify"
 	"rrdps/internal/core/match"
@@ -90,6 +92,7 @@ type Pipeline struct {
 	matcher  *match.Matcher
 	resolver *dnsresolver.Resolver
 	verifier *htmlverify.Verifier
+	workers  int
 }
 
 // New creates a pipeline. resolver performs the "normal resolutions" of
@@ -98,11 +101,32 @@ func New(matcher *match.Matcher, resolver *dnsresolver.Resolver, verifier *htmlv
 	if matcher == nil || resolver == nil || verifier == nil {
 		panic("filter: matcher, resolver, and verifier are required")
 	}
-	return &Pipeline{matcher: matcher, resolver: resolver, verifier: verifier}
+	return &Pipeline{matcher: matcher, resolver: resolver, verifier: verifier, workers: 1}
+}
+
+// SetWorkers sets the per-apex filtering parallelism (default 1). Each
+// apex's three stages run as one unit on one worker; the report is
+// assembled from per-apex results in sorted apex order after fan-in, so
+// Run's output is value-identical to a serial pass.
+func (p *Pipeline) SetWorkers(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("filter: SetWorkers(%d)", n))
+	}
+	p.workers = n
+}
+
+// apexResult is one apex's contribution to the report.
+type apexResult struct {
+	dropped  int
+	hidden   []Hidden
+	outcomes []Outcome
 }
 
 // Run filters one provider's scan answers (apex -> addresses retrieved
-// from the provider's nameservers).
+// from the provider's nameservers). With SetWorkers > 1 the apexes fan out
+// over a bounded worker pool — the A-matching re-resolutions and HTML
+// verifications dominate the cost — and the report keeps the deterministic
+// sorted-apex ordering.
 func (p *Pipeline) Run(provider dps.ProviderKey, scanned map[dnsmsg.Name][]netip.Addr) Report {
 	rep := Report{Provider: provider, Scanned: len(scanned)}
 
@@ -112,61 +136,102 @@ func (p *Pipeline) Run(provider dps.ProviderKey, scanned map[dnsmsg.Name][]netip
 	}
 	sort.Slice(apexes, func(i, j int) bool { return apexes[i] < apexes[j] })
 
-	for _, apex := range apexes {
-		www := apex.Child("www")
-
-		// Stage 1 — IP-matching filter: answers inside the provider's own
-		// ranges mean the site is under this provider's protection right
-		// now; no residual resolution there.
-		var aIP []netip.Addr
-		for _, addr := range scanned[apex] {
-			if p.matcher.InProviderRanges(provider, addr) {
-				rep.DroppedByIPFilter++
-				continue
-			}
-			aIP = append(aIP, addr)
+	results := make([]apexResult, len(apexes))
+	one := func(i int) {
+		results[i] = p.runApex(provider, apexes[i], scanned[apexes[i]])
+	}
+	if p.workers <= 1 || len(apexes) <= 1 {
+		for i := range apexes {
+			one(i)
 		}
-		if len(aIP) == 0 {
-			continue
+	} else {
+		workers := p.workers
+		if workers > len(apexes) {
+			workers = len(apexes)
 		}
-
-		// Stage 2 — A-matching filter: compare against the normal
-		// resolution A_nor; what only the DPS nameservers return is
-		// hidden: A_diff = A_IP − A_nor.
-		aNor, err := p.resolver.Resolve(www, dnsmsg.TypeA)
-		norSet := make(map[netip.Addr]bool)
-		var publicAddr netip.Addr
-		if err == nil {
-			for _, a := range aNor.Addrs() {
-				norSet[a] = true
-				if !publicAddr.IsValid() {
-					publicAddr = a
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(apexes); i += workers {
+					one(i)
 				}
-			}
+			}(w)
 		}
-		var hidden []Hidden
-		for _, addr := range aIP {
-			if norSet[addr] {
-				continue
-			}
-			hidden = append(hidden, Hidden{Apex: apex, WWW: www, Addr: addr})
-		}
-		if len(hidden) == 0 {
-			continue
-		}
-		rep.Hidden = append(rep.Hidden, hidden...)
+		wg.Wait()
+	}
 
-		// Stage 3 — HTML verification filter: fetch via the public view
-		// (IP2) and via each hidden address (IP1) and compare pages. With
-		// no public address the record stays unverified (lower bound).
-		for _, h := range hidden {
-			outcome := Outcome{Hidden: h}
-			if publicAddr.IsValid() {
-				res := p.verifier.Verify(www, publicAddr, h.Addr)
-				outcome.Verified = res.Match
-			}
-			rep.Outcomes = append(rep.Outcomes, outcome)
-		}
+	// Fan-in: stable sorted-apex order, exactly like the serial loop.
+	for _, r := range results {
+		rep.DroppedByIPFilter += r.dropped
+		rep.Hidden = append(rep.Hidden, r.hidden...)
+		rep.Outcomes = append(rep.Outcomes, r.outcomes...)
 	}
 	return rep
+}
+
+// runApex runs the three Fig. 8 stages for one apex.
+func (p *Pipeline) runApex(provider dps.ProviderKey, apex dnsmsg.Name, answers []netip.Addr) apexResult {
+	var r apexResult
+	www := apex.Child("www")
+
+	// Stage 1 — IP-matching filter: answers inside the provider's own
+	// ranges mean the site is under this provider's protection right
+	// now; no residual resolution there.
+	var aIP []netip.Addr
+	for _, addr := range answers {
+		if p.matcher.InProviderRanges(provider, addr) {
+			r.dropped++
+			continue
+		}
+		aIP = append(aIP, addr)
+	}
+	if len(aIP) == 0 {
+		return r
+	}
+
+	// Stage 2 — A-matching filter: compare against the normal
+	// resolution A_nor; what only the DPS nameservers return is
+	// hidden: A_diff = A_IP − A_nor.
+	aNor, err := p.resolver.Resolve(www, dnsmsg.TypeA)
+	norSet := make(map[netip.Addr]bool)
+	var publicAddr netip.Addr
+	if err == nil {
+		for _, a := range aNor.Addrs() {
+			norSet[a] = true
+			if !publicAddr.IsValid() {
+				publicAddr = a
+			}
+		}
+	}
+	for _, addr := range aIP {
+		if norSet[addr] {
+			continue
+		}
+		r.hidden = append(r.hidden, Hidden{Apex: apex, WWW: www, Addr: addr})
+	}
+	if len(r.hidden) == 0 {
+		return r
+	}
+
+	// Stage 3 — HTML verification filter: fetch via the public view
+	// (IP2) and via each hidden address (IP1) and compare pages. With
+	// no public address the record stays unverified (lower bound).
+	r.outcomes = make([]Outcome, len(r.hidden))
+	if publicAddr.IsValid() {
+		cands := make([]netip.Addr, len(r.hidden))
+		for i, h := range r.hidden {
+			cands[i] = h.Addr
+		}
+		verdicts := p.verifier.VerifyBatch(www, publicAddr, cands, p.workers)
+		for i, h := range r.hidden {
+			r.outcomes[i] = Outcome{Hidden: h, Verified: verdicts[i].Match}
+		}
+	} else {
+		for i, h := range r.hidden {
+			r.outcomes[i] = Outcome{Hidden: h}
+		}
+	}
+	return r
 }

@@ -12,6 +12,7 @@ package htmlverify
 
 import (
 	"net/netip"
+	"sync"
 
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/httpsim"
@@ -57,6 +58,38 @@ func (v *Verifier) Verify(host dnsmsg.Name, refAddr, candAddr netip.Addr) Result
 	}
 	res.Match = SamePage(res.Reference, res.Candidate)
 	return res
+}
+
+// VerifyBatch runs Verify for every candidate address against the same
+// public reference view, fanning the verifications over at most workers
+// goroutines. Results come back in candAddrs order; each slot equals what
+// a serial Verify call would produce (the fetched pages are static within
+// a verification pass, and origins with per-request dynamic meta fail the
+// strict comparison no matter the interleaving). workers <= 1 degenerates
+// to the serial loop.
+func (v *Verifier) VerifyBatch(host dnsmsg.Name, refAddr netip.Addr, candAddrs []netip.Addr, workers int) []Result {
+	out := make([]Result, len(candAddrs))
+	if workers <= 1 || len(candAddrs) <= 1 {
+		for i, cand := range candAddrs {
+			out[i] = v.Verify(host, refAddr, cand)
+		}
+		return out
+	}
+	if workers > len(candAddrs) {
+		workers = len(candAddrs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(candAddrs); i += workers {
+				out[i] = v.Verify(host, refAddr, candAddrs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
 }
 
 func (v *Verifier) fetch(host dnsmsg.Name, addr netip.Addr) (httpsim.Page, bool) {

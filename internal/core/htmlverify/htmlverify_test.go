@@ -120,6 +120,39 @@ func TestVerifyACLProtectedOriginFails(t *testing.T) {
 	}
 }
 
+// TestVerifyBatchMatchesSerial checks the concurrent batch produces, slot
+// for slot, the same verdicts as serial Verify calls — including failure
+// slots (unreachable, mismatched).
+func TestVerifyBatchMatchesSerial(t *testing.T) {
+	f := newFixture(t)
+	ref := f.serve("10.0.0.1", page, nil)
+	other := page
+	other.Title = "Different Site"
+	cands := []netip.Addr{
+		f.serve("10.0.0.2", page, nil),
+		f.serve("10.0.0.3", other, nil),
+		netip.MustParseAddr("10.0.0.99"), // unreachable
+		f.serve("10.0.0.4", page, nil),
+		f.serve("10.0.0.5", other, nil),
+		f.serve("10.0.0.6", page, nil),
+	}
+	want := make([]Result, len(cands))
+	for i, c := range cands {
+		want[i] = f.verifier.Verify("www.acme.com", ref, c)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got := f.verifier.VerifyBatch("www.acme.com", ref, cands, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Match != want[i].Match || got[i].RefOK != want[i].RefOK || got[i].CandOK != want[i].CandOK {
+				t.Fatalf("workers=%d slot %d: got %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestSamePage(t *testing.T) {
 	a := httpsim.Page{Title: "T", Meta: map[string]string{"k": "v"}}
 	b := httpsim.Page{Title: "T", Meta: map[string]string{"k": "v"}}

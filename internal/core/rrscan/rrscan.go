@@ -7,8 +7,10 @@
 package rrscan
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"rrdps/internal/alexa"
 	"rrdps/internal/core/collect"
@@ -59,6 +61,7 @@ func DiscoverNameservers(snaps []collect.Snapshot, profile dps.Profile, resolver
 // Scanner issues the direct scans from a set of vantage-point clients.
 type Scanner struct {
 	vantage []*dnsresolver.Client
+	workers int
 	next    int
 }
 
@@ -68,7 +71,19 @@ func NewScanner(vantage []*dnsresolver.Client) *Scanner {
 	if len(vantage) == 0 {
 		panic("rrscan: at least one vantage client is required")
 	}
-	return &Scanner{vantage: append([]*dnsresolver.Client(nil), vantage...)}
+	return &Scanner{vantage: append([]*dnsresolver.Client(nil), vantage...), workers: 1}
+}
+
+// SetWorkers sets the scan parallelism (default 1), mirroring
+// collect.Collector. The i-th query keeps the exact vantage client and
+// nameserver the serial rotation would assign it, so — the fabric being
+// quiescent and loss-free during a scan — parallel results are
+// value-identical to serial ones regardless of completion order.
+func (s *Scanner) SetWorkers(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("rrscan: SetWorkers(%d)", n))
+	}
+	s.workers = n
 }
 
 // ScanDirect queries, for every domain, a provider nameserver for the www
@@ -79,24 +94,9 @@ func (s *Scanner) ScanDirect(nsAddrs []netip.Addr, domains []alexa.Domain) map[d
 	if len(nsAddrs) == 0 {
 		return nil
 	}
-	out := make(map[dnsmsg.Name][]netip.Addr)
-	for i, d := range domains {
-		client := s.vantage[s.next%len(s.vantage)]
-		s.next++
-		server := nsAddrs[i%len(nsAddrs)]
-		resp, err := client.Exchange(server, d.WWW(), dnsmsg.TypeA)
-		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
-			continue
-		}
-		var addrs []netip.Addr
-		for _, rr := range resp.AnswersOfType(dnsmsg.TypeA) {
-			addrs = append(addrs, rr.Data.(dnsmsg.AData).Addr)
-		}
-		if len(addrs) > 0 {
-			out[d.Apex] = addrs
-		}
-	}
-	return out
+	return s.scan(nsAddrs, len(domains), func(i int) (dnsmsg.Name, dnsmsg.Name) {
+		return domains[i].Apex, domains[i].WWW()
+	})
 }
 
 // ScanDirectHosts is ScanDirect generalized beyond the www subdomain: it
@@ -108,24 +108,74 @@ func (s *Scanner) ScanDirectHosts(nsAddrs []netip.Addr, hosts []dnsmsg.Name) map
 	if len(nsAddrs) == 0 {
 		return nil
 	}
-	out := make(map[dnsmsg.Name][]netip.Addr)
-	for i, host := range hosts {
-		client := s.vantage[s.next%len(s.vantage)]
-		s.next++
+	return s.scan(nsAddrs, len(hosts), func(i int) (dnsmsg.Name, dnsmsg.Name) {
+		return hosts[i], hosts[i]
+	})
+}
+
+// scan runs n queries, the i-th asking nameserver nsAddrs[i%len] for the
+// qname of item(i) from vantage client (next+i)%len — the same rotation the
+// serial loop performs — and keys successful answers by item(i)'s key.
+// With workers > 1 the indices are distributed over a bounded pool; each
+// worker writes only its own slots of a pre-sized results slice, and the
+// map is assembled in index order afterwards, so the outcome is
+// value-identical to the serial scan.
+func (s *Scanner) scan(nsAddrs []netip.Addr, n int, item func(i int) (key, qname dnsmsg.Name)) map[dnsmsg.Name][]netip.Addr {
+	base := s.next
+	s.next += n
+
+	results := make([][]netip.Addr, n)
+	one := func(i int) {
+		client := s.vantage[(base+i)%len(s.vantage)]
+		_, qname := item(i)
 		server := nsAddrs[i%len(nsAddrs)]
-		resp, err := client.Exchange(server, host, dnsmsg.TypeA)
+		resp, err := client.Exchange(server, qname, dnsmsg.TypeA)
 		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
-			continue
+			return
 		}
 		var addrs []netip.Addr
 		for _, rr := range resp.AnswersOfType(dnsmsg.TypeA) {
 			addrs = append(addrs, rr.Data.(dnsmsg.AData).Addr)
 		}
-		if len(addrs) > 0 {
-			out[host] = addrs
+		results[i] = addrs
+	}
+
+	if s.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			one(i)
 		}
+	} else {
+		runIndexed(s.workers, n, one)
+	}
+
+	out := make(map[dnsmsg.Name][]netip.Addr)
+	for i := 0; i < n; i++ {
+		if len(results[i]) == 0 {
+			continue
+		}
+		key, _ := item(i)
+		out[key] = results[i]
 	}
 	return out
+}
+
+// runIndexed runs fn(0..n-1) over a bounded pool of workers goroutines,
+// dealing indices round-robin so no channel hand-off is needed.
+func runIndexed(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // CNAMELibrary accumulates the provider CNAME targets ever observed per
@@ -136,6 +186,7 @@ func (s *Scanner) ScanDirectHosts(nsAddrs []netip.Addr, hosts []dnsmsg.Name) map
 type CNAMELibrary struct {
 	provider dps.ProviderKey
 	matcher  *match.Matcher
+	workers  int
 	targets  map[dnsmsg.Name]map[dnsmsg.Name]bool // apex -> set of targets
 }
 
@@ -147,8 +198,20 @@ func NewCNAMELibrary(provider dps.ProviderKey, matcher *match.Matcher) *CNAMELib
 	return &CNAMELibrary{
 		provider: provider,
 		matcher:  matcher,
+		workers:  1,
 		targets:  make(map[dnsmsg.Name]map[dnsmsg.Name]bool),
 	}
+}
+
+// SetWorkers sets the ResolveAll parallelism (default 1). Each apex's
+// targets still resolve in sorted order within one worker, so the per-apex
+// address lists keep their serial ordering and the result is
+// value-identical to a serial run.
+func (l *CNAMELibrary) SetWorkers(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("rrscan: SetWorkers(%d)", n))
+	}
+	l.workers = n
 }
 
 // AddSnapshot records every CNAME target in the snapshot attributed to the
@@ -193,18 +256,35 @@ func (l *CNAMELibrary) Apexes() []dnsmsg.Name {
 }
 
 // ResolveAll re-resolves every recorded CNAME target and returns the A
-// records obtained per apex. Targets that no longer resolve drop out.
+// records obtained per apex. Targets that no longer resolve drop out. With
+// SetWorkers > 1 the apexes fan out over a bounded worker pool; the
+// resolver is safe for concurrent use and its sharded cache keeps the
+// workers from serializing.
 func (l *CNAMELibrary) ResolveAll(resolver *dnsresolver.Resolver) map[dnsmsg.Name][]netip.Addr {
-	out := make(map[dnsmsg.Name][]netip.Addr)
-	for _, apex := range l.Apexes() {
-		for _, target := range l.Targets(apex) {
+	apexes := l.Apexes()
+	results := make([][]netip.Addr, len(apexes))
+	one := func(i int) {
+		for _, target := range l.Targets(apexes[i]) {
 			res, err := resolver.Resolve(target, dnsmsg.TypeA)
 			if err != nil {
 				continue
 			}
 			if addrs := res.Addrs(); len(addrs) > 0 {
-				out[apex] = append(out[apex], addrs...)
+				results[i] = append(results[i], addrs...)
 			}
+		}
+	}
+	if l.workers <= 1 || len(apexes) <= 1 {
+		for i := range apexes {
+			one(i)
+		}
+	} else {
+		runIndexed(l.workers, len(apexes), one)
+	}
+	out := make(map[dnsmsg.Name][]netip.Addr)
+	for i, apex := range apexes {
+		if len(results[i]) > 0 {
+			out[apex] = results[i]
 		}
 	}
 	return out

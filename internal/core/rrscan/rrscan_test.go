@@ -20,6 +20,7 @@ type fixture struct {
 	collector *collect.Collector
 	matcher   *match.Matcher
 	scanner   *Scanner
+	vantage   []*dnsresolver.Client
 }
 
 func newFixture(t *testing.T, n int) *fixture {
@@ -48,6 +49,7 @@ func newFixture(t *testing.T, n int) *fixture {
 		collector: collect.New(resolver, domains),
 		matcher:   match.New(w.Registry, dps.Profiles()),
 		scanner:   NewScanner(vantage),
+		vantage:   vantage,
 	}
 }
 

@@ -31,72 +31,114 @@ type delegationEntry struct {
 	expires time.Time
 }
 
-// cache is the resolver's TTL-aware store. Entries are never served past
-// their expiry; Purge empties everything (the paper's collector purges its
-// resolver cache before every daily run so snapshots stay independent,
-// §IV-B.1).
-type cache struct {
+// hostAddrEntry caches one nameserver host's address.
+type hostAddrEntry struct {
+	addr    netip.Addr
+	expires time.Time
+}
+
+// cacheShards is the lock-striping factor. Scan campaigns run dozens of
+// workers against one resolver; 32 stripes keeps the probability of two
+// workers colliding on one mutex low without bloating the struct.
+const cacheShards = 32
+
+// cacheShard is one stripe: a mutex plus its slice of each table.
+type cacheShard struct {
 	mu          sync.Mutex
 	answers     map[cacheKey]answerEntry
 	delegations map[dnsmsg.Name]delegationEntry
-	hostAddrs   map[dnsmsg.Name]struct {
-		addr    netip.Addr
-		expires time.Time
-	}
+	hostAddrs   map[dnsmsg.Name]hostAddrEntry
+}
+
+func (s *cacheShard) resetLocked() {
+	s.answers = make(map[cacheKey]answerEntry)
+	s.delegations = make(map[dnsmsg.Name]delegationEntry)
+	s.hostAddrs = make(map[dnsmsg.Name]hostAddrEntry)
+}
+
+// cache is the resolver's TTL-aware store, sharded so concurrent scan
+// workers stop serializing on a single mutex. Entries are never served past
+// their expiry; Purge empties everything (the paper's collector purges its
+// resolver cache before every daily run so snapshots stay independent,
+// §IV-B.1).
+//
+// Every entry kind (answers, delegations, host addresses) routes to a shard
+// by an FNV-1a hash of the owner name, so all records for one name share a
+// stripe while distinct names spread across all of them.
+type cache struct {
+	shards [cacheShards]cacheShard
 }
 
 func newCache() *cache {
 	c := &cache{}
-	c.reset()
+	for i := range c.shards {
+		c.shards[i].resetLocked()
+	}
 	return c
 }
 
-func (c *cache) reset() {
-	c.answers = make(map[cacheKey]answerEntry)
-	c.delegations = make(map[dnsmsg.Name]delegationEntry)
-	c.hostAddrs = make(map[dnsmsg.Name]struct {
-		addr    netip.Addr
-		expires time.Time
-	})
+// shardFor routes a name to its stripe by FNV-1a over the name's bytes.
+func (c *cache) shardFor(name dnsmsg.Name) *cacheShard {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	return &c.shards[h%cacheShards]
 }
 
-// Purge drops every cached entry.
+// Purge drops every cached entry. Shards are cleared one at a time: a put
+// racing with Purge may survive in an already-cleared stripe, which is fine
+// for the campaigns (they purge between runs, while the resolver is idle)
+// and harmless otherwise (the entry is valid, just not forgotten).
 func (c *cache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reset()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.resetLocked()
+		s.mu.Unlock()
+	}
 }
 
-// Len returns the total number of live entries at now.
+// Len returns the total number of live entries at now, summed across
+// shards.
 func (c *cache) Len(now time.Time) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, e := range c.answers {
-		if e.expires.After(now) {
-			n++
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.answers {
+			if e.expires.After(now) {
+				n++
+			}
 		}
-	}
-	for _, e := range c.delegations {
-		if e.expires.After(now) {
-			n++
+		for _, e := range s.delegations {
+			if e.expires.After(now) {
+				n++
+			}
 		}
-	}
-	for _, e := range c.hostAddrs {
-		if e.expires.After(now) {
-			n++
+		for _, e := range s.hostAddrs {
+			if e.expires.After(now) {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
 func (c *cache) getAnswer(now time.Time, key cacheKey) (answerEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.answers[key]
+	s := c.shardFor(key.name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.answers[key]
 	if !ok || !e.expires.After(now) {
 		if ok {
-			delete(c.answers, key)
+			delete(s.answers, key)
 		}
 		return answerEntry{}, false
 	}
@@ -108,18 +150,20 @@ func (c *cache) putAnswer(now time.Time, key cacheKey, e answerEntry, ttl time.D
 		return // zero-TTL answers are never cached
 	}
 	e.expires = now.Add(ttl)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.answers[key] = e
+	s := c.shardFor(key.name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.answers[key] = e
 }
 
 func (c *cache) getDelegation(now time.Time, zone dnsmsg.Name) ([]dnsmsg.Name, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.delegations[zone]
+	s := c.shardFor(zone)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.delegations[zone]
 	if !ok || !e.expires.After(now) {
 		if ok {
-			delete(c.delegations, zone)
+			delete(s.delegations, zone)
 		}
 		return nil, false
 	}
@@ -130,34 +174,41 @@ func (c *cache) putDelegation(now time.Time, zone dnsmsg.Name, hosts []dnsmsg.Na
 	if ttl <= 0 || len(hosts) == 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.delegations[zone] = delegationEntry{
+	s := c.shardFor(zone)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delegations[zone] = delegationEntry{
 		hosts:   append([]dnsmsg.Name(nil), hosts...),
 		expires: now.Add(ttl),
 	}
 }
 
 // closestDelegation returns the cached zone cut deepest along name's
-// ancestry, if any.
+// ancestry, if any. Each ancestor zone hashes to its own shard, so the walk
+// locks at most one stripe at a time.
 func (c *cache) closestDelegation(now time.Time, name dnsmsg.Name) (dnsmsg.Name, []dnsmsg.Name, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for zone := name; !zone.IsRoot(); zone = zone.Parent() {
-		if e, ok := c.delegations[zone]; ok && e.expires.After(now) {
-			return zone, append([]dnsmsg.Name(nil), e.hosts...), true
+		s := c.shardFor(zone)
+		s.mu.Lock()
+		e, ok := s.delegations[zone]
+		if ok && e.expires.After(now) {
+			hosts := append([]dnsmsg.Name(nil), e.hosts...)
+			s.mu.Unlock()
+			return zone, hosts, true
 		}
+		s.mu.Unlock()
 	}
 	return "", nil, false
 }
 
 func (c *cache) getHostAddr(now time.Time, host dnsmsg.Name) (netip.Addr, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.hostAddrs[host]
+	s := c.shardFor(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.hostAddrs[host]
 	if !ok || !e.expires.After(now) {
 		if ok {
-			delete(c.hostAddrs, host)
+			delete(s.hostAddrs, host)
 		}
 		return netip.Addr{}, false
 	}
@@ -168,10 +219,8 @@ func (c *cache) putHostAddr(now time.Time, host dnsmsg.Name, addr netip.Addr, tt
 	if ttl <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hostAddrs[host] = struct {
-		addr    netip.Addr
-		expires time.Time
-	}{addr: addr, expires: now.Add(ttl)}
+	s := c.shardFor(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hostAddrs[host] = hostAddrEntry{addr: addr, expires: now.Add(ttl)}
 }

@@ -19,9 +19,11 @@ import (
 // export zones for inspection and import fixture zones in tests and
 // tools.
 
-// WriteTo renders the zone in presentation format: $ORIGIN and SOA first,
-// then every record sorted by name and type.
-func (z *Zone) WriteTo(w io.Writer) error {
+// WriteText renders the zone in presentation format: $ORIGIN and SOA
+// first, then every record sorted by name and type. (Not named WriteTo:
+// that name is reserved by the io.WriterTo convention, whose signature
+// returns the byte count, and go vet flags the mismatch.)
+func (z *Zone) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "$ORIGIN %s.\n", z.Origin())
 	fmt.Fprintf(bw, "%s\n", presentRR(z.SOA(), z.Origin()))

@@ -84,7 +84,7 @@ func TestZoneFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := z.WriteTo(&buf); err != nil {
+	if err := z.WriteText(&buf); err != nil {
 		t.Fatal(err)
 	}
 	z2, err := ParseZone(bytes.NewReader(buf.Bytes()), "")

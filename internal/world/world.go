@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 
 	"rrdps/internal/alexa"
 	"rrdps/internal/dnsmsg"
@@ -325,10 +326,12 @@ func (w *World) buildSites() {
 			panic(fmt.Sprintf("world: building %s: %v", d.Apex, err))
 		}
 		if w.rng.Float64() < w.cfg.DynamicMetaRate {
-			seq := 0
+			// The counter is atomic: concurrent HTML verifications may hit
+			// the same origin, and the nonce only needs to differ per
+			// request, not be sequential.
+			var seq atomic.Int64
 			site.Origin().SetDynamicMeta(func(httpsim.RequestContext) map[string]string {
-				seq++
-				return map[string]string{"served-at": fmt.Sprintf("t%08d", seq)}
+				return map[string]string{"served-at": fmt.Sprintf("t%08d", seq.Add(1))}
 			})
 		}
 		w.sites = append(w.sites, site)
