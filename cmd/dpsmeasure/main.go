@@ -14,6 +14,7 @@ import (
 
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
+	"rrdps/internal/dnsresolver"
 	"rrdps/internal/world"
 )
 
@@ -23,11 +24,16 @@ func main() {
 	seed := flag.Int64("seed", 1815, "world seed")
 	boost := flag.Float64("churn-boost", 1, "multiply all behaviour hazards (small worlds need >1 for dense figures)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the daily collection loop (1 = serial; snapshots are identical either way)")
+	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
+	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
 	flag.Parse()
-	if *sites <= 0 || *days <= 0 || *boost <= 0 || *workers <= 0 {
-		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, -churn-boost, and -workers must be positive")
+	if *sites <= 0 || *days <= 0 || *boost <= 0 || *workers <= 0 || *retries <= 0 {
+		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, -churn-boost, -workers, and -retries must be positive")
 		os.Exit(2)
 	}
+	policy := dnsresolver.DefaultPolicy()
+	policy.MaxAttempts = *retries
+	policy.Hedge = *hedge
 
 	cfg := world.PaperConfig(*sites)
 	cfg.Seed = *seed
@@ -41,10 +47,11 @@ func main() {
 	w := world.New(cfg)
 	fmt.Printf("world ready in %v; running %d-day campaign...\n\n", time.Since(start).Round(time.Millisecond), *days)
 
-	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers}.Run()
+	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers, Policy: &policy}.Run()
 
 	fmt.Println(res.String())
-	fmt.Println()
+	fmt.Printf("retry policy: %s\n", policy)
+	fmt.Println(report.FaultSummary(res.Stats, res.Sidelined))
 	fmt.Println(report.Figure2(res))
 	fmt.Println(report.Figure3(res))
 	fmt.Println(report.Figure5(res))

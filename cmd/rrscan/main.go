@@ -14,6 +14,7 @@ import (
 
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
+	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/world"
@@ -27,11 +28,16 @@ func main() {
 	warmup := flag.Int("warmup", 28, "days of world history to simulate before the first scan")
 	incStart := flag.Int("incapsula-start", 0, "week after which the Incapsula CNAME tracking begins (the paper covers its last three weeks)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the collection/scan/filter loops (1 = serial; results are identical either way)")
+	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
+	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
 	flag.Parse()
-	if *sites <= 0 || *weeks <= 0 || *boost <= 0 || *workers <= 0 {
-		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, -churn-boost, and -workers must be positive")
+	if *sites <= 0 || *weeks <= 0 || *boost <= 0 || *workers <= 0 || *retries <= 0 {
+		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, -churn-boost, -workers, and -retries must be positive")
 		os.Exit(2)
 	}
+	policy := dnsresolver.DefaultPolicy()
+	policy.MaxAttempts = *retries
+	policy.Hedge = *hedge
 
 	cfg := world.PaperConfig(*sites)
 	cfg.Seed = *seed
@@ -50,10 +56,13 @@ func main() {
 		WarmupDays:         *warmup,
 		IncapsulaStartWeek: *incStart,
 		Workers:            *workers,
+		Policy:             &policy,
 	}.Run()
 
 	fmt.Println(res.String())
 	fmt.Printf("cloudflare NS-rerouting nameservers discovered: %d\n\n", res.NameserverCount)
+	fmt.Printf("retry policy: %s\n", policy)
+	fmt.Println(report.FaultSummary(res.Stats, res.Sidelined))
 	fmt.Println(report.TableVI(res))
 	fmt.Println(report.Figure9(res))
 

@@ -84,7 +84,10 @@ func (c *Collector) SetWorkers(n int) {
 }
 
 // Collect takes one snapshot labelled with day. The resolver cache is
-// purged first, exactly as the paper does between daily experiments.
+// purged first, exactly as the paper does between daily experiments, and
+// the resolver's nameserver-health tracker is checkpointed so the
+// previous pass's timeout observations fold into sideline decisions
+// while the fabric is quiescent.
 //
 // With workers > 1 the domains fan out over a bounded pool. Each worker
 // writes only its own pre-assigned slots of a pre-sized results slice — no
@@ -97,6 +100,7 @@ func (c *Collector) SetWorkers(n int) {
 // hit/miss interleaving cannot change any record's value, and (c) the
 // snapshot map is keyed by apex, so assembly order is irrelevant.
 func (c *Collector) Collect(day int) Snapshot {
+	c.resolver.Checkpoint()
 	c.resolver.PurgeCache()
 	snap := Snapshot{Day: day, Records: make(map[dnsmsg.Name]Record, len(c.domains))}
 	if c.workers <= 1 || len(c.domains) <= 1 {
@@ -165,6 +169,9 @@ func (c *Collector) ResolveOne(host dnsmsg.Name) ([]netip.Addr, error) {
 
 // Resolver exposes the underlying resolver (vantage reuse by the scanner).
 func (c *Collector) Resolver() *dnsresolver.Resolver { return c.resolver }
+
+// Stats returns the underlying resolver's resilience accounting.
+func (c *Collector) Stats() dnsresolver.QueryStats { return c.resolver.Stats() }
 
 // Domains returns the collector's domain list.
 func (c *Collector) Domains() []alexa.Domain {

@@ -17,6 +17,7 @@ import (
 	"rrdps/internal/core/match"
 	"rrdps/internal/core/status"
 	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/world"
@@ -61,6 +62,12 @@ type DynamicsResult struct {
 	CountsByDay  map[int]map[behavior.Kind]int
 	// Unchanged is the Table V data, keyed by provider.
 	Unchanged map[dps.ProviderKey]*UnchangedRow
+	// Stats is the collector resolver's resilience accounting for the
+	// whole campaign.
+	Stats dnsresolver.QueryStats
+	// Sidelined lists the nameservers still sidelined by health tracking
+	// when the campaign ended.
+	Sidelined []netip.Addr
 }
 
 // AvgAdoptionRate returns the mean daily overall adoption rate.
@@ -170,6 +177,10 @@ type Dynamics struct {
 	// serial; snapshots stay value-identical either way because the world
 	// only advances between collection passes.
 	Workers int
+	// Policy overrides the retry policy installed on the collector's
+	// resolver. Nil means dnsresolver.DefaultPolicy(); point it at a
+	// NoRetryPolicy value to measure the unprotected baseline.
+	Policy *dnsresolver.Policy
 }
 
 // _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
@@ -211,6 +222,11 @@ func (d Dynamics) Run() DynamicsResult {
 	if d.Workers > 1 {
 		collector.SetWorkers(d.Workers)
 	}
+	policy := dnsresolver.DefaultPolicy()
+	if d.Policy != nil {
+		policy = *d.Policy
+	}
+	resolver.SetPolicy(policy)
 	matcher := match.New(w.Registry, dps.Profiles())
 	classifier := status.New(matcher)
 	var tracker *behavior.Tracker // built after the first snapshot (multi-CDN detection)
@@ -257,6 +273,8 @@ func (d Dynamics) Run() DynamicsResult {
 	res.Detections = tracker.Detections()
 	res.PauseWindows = tracker.PauseWindows()
 	res.CountsByDay = tracker.CountsByDay()
+	res.Stats = resolver.Stats()
+	res.Sidelined = resolver.Health().Sidelined()
 	return res
 }
 

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 
 	"rrdps/internal/alexa"
 	"rrdps/internal/core/collect"
@@ -38,6 +39,13 @@ type ResidualResult struct {
 	// NameserverCount is how many Cloudflare NS-rerouting nameservers the
 	// scan discovered (the paper's 391).
 	NameserverCount int
+	// Stats aggregates the campaign's resilience accounting: the shared
+	// collector/filter resolver (counted once) plus every scan vantage
+	// client.
+	Stats dnsresolver.QueryStats
+	// Sidelined lists the nameservers still sidelined by health tracking
+	// when the campaign ended, across the resolver and vantage clients.
+	Sidelined []netip.Addr
 }
 
 // Residual runs the §V residual-resolution campaign over a world:
@@ -68,6 +76,12 @@ type Residual struct {
 	// measurement passes, and each pass fans out with deterministic
 	// per-index assignment and ordered fan-in.
 	Workers int
+	// Policy overrides the retry policy installed on the campaign's
+	// resolver and scan vantage clients. Nil means
+	// dnsresolver.DefaultPolicy(): 3 attempts with backoff, hedging, and
+	// nameserver health sidelining. Point it at a NoRetryPolicy value to
+	// measure the unprotected baseline.
+	Policy *dnsresolver.Policy
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
@@ -93,6 +107,13 @@ func (r Residual) Run() ResidualResult {
 	}
 	scanner := rrscan.NewScanner(vantage)
 	cnameLib := rrscan.NewCNAMELibrary(dps.Incapsula, matcher)
+
+	policy := dnsresolver.DefaultPolicy()
+	if r.Policy != nil {
+		policy = *r.Policy
+	}
+	resolver.SetPolicy(policy)
+	scanner.SetPolicy(policy)
 
 	if r.Workers > 1 {
 		collector.SetWorkers(r.Workers)
@@ -166,7 +187,30 @@ func (r Residual) Run() ResidualResult {
 		// A week of usage dynamics between scans.
 		w.AdvanceDays(7)
 	}
+
+	// The collector, filter pipeline, CNAME library, and nameserver
+	// discovery all share one resolver; count it once, then add each scan
+	// vantage client.
+	res.Stats = resolver.Stats().Add(scanner.Stats())
+	res.Sidelined = mergeSidelined(resolver.Health().Sidelined(), scanner.Sidelined())
 	return res
+}
+
+// mergeSidelined unions sorted sideline lists, keeping the result sorted
+// and duplicate-free.
+func mergeSidelined(lists ...[]netip.Addr) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	var out []netip.Addr
+	for _, list := range lists {
+		for _, addr := range list {
+			if !seen[addr] {
+				seen[addr] = true
+				out = append(out, addr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // TotalHidden returns the distinct hidden-record counts (Table VI totals).

@@ -128,6 +128,7 @@ type apexResult struct {
 // verifications dominate the cost — and the report keeps the deterministic
 // sorted-apex ordering.
 func (p *Pipeline) Run(provider dps.ProviderKey, scanned map[dnsmsg.Name][]netip.Addr) Report {
+	p.resolver.Checkpoint()
 	rep := Report{Provider: provider, Scanned: len(scanned)}
 
 	apexes := make([]dnsmsg.Name, 0, len(scanned))

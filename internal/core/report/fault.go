@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"text/tabwriter"
+
+	"rrdps/internal/dnsresolver"
+)
+
+// FaultSummary renders a campaign's resilience accounting — the query,
+// retry, and hedge totals of the resilient query layer plus the health
+// tracker's verdicts — as a compact table for the cmd binaries' health
+// summaries.
+func FaultSummary(stats dnsresolver.QueryStats, sidelined []netip.Addr) string {
+	out := "Fault tolerance summary\n" + table(func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "logical queries\t%d\n", stats.Queries)
+		fmt.Fprintf(w, "wire attempts\t%d\n", stats.Attempts)
+		fmt.Fprintf(w, "retries\t%d\n", stats.Retries)
+		fmt.Fprintf(w, "hedged attempts\t%d\n", stats.Hedges)
+		fmt.Fprintf(w, "timeouts\t%d\n", stats.Timeouts)
+		fmt.Fprintf(w, "corrupt replies\t%d\n", stats.CorruptReplies)
+		fmt.Fprintf(w, "bad responses\t%d\n", stats.BadResponses)
+		fmt.Fprintf(w, "recovered queries\t%d\n", stats.Recovered)
+		fmt.Fprintf(w, "failed queries\t%d\n", stats.Failed)
+		fmt.Fprintf(w, "sideline events\t%d\n", stats.SidelineEvents)
+		fmt.Fprintf(w, "accounted backoff\t%v\n", stats.Backoff)
+	})
+	if len(sidelined) == 0 {
+		return out + "sidelined nameservers: none\n"
+	}
+	addrs := make([]string, len(sidelined))
+	for i, a := range sidelined {
+		addrs[i] = a.String()
+	}
+	return out + fmt.Sprintf("sidelined nameservers (%d): %s\n", len(sidelined), strings.Join(addrs, " "))
+}

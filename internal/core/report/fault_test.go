@@ -1,0 +1,32 @@
+package report
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"rrdps/internal/dnsresolver"
+)
+
+func TestFaultSummary(t *testing.T) {
+	stats := dnsresolver.QueryStats{
+		Queries: 100, Attempts: 130, Retries: 30, Hedges: 12,
+		Timeouts: 28, CorruptReplies: 2, Recovered: 25, Failed: 5,
+		SidelineEvents: 1,
+	}
+	got := FaultSummary(stats, nil)
+	for _, want := range []string{
+		"Fault tolerance summary", "logical queries", "100",
+		"retries", "30", "hedged attempts", "12",
+		"sidelined nameservers: none",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+
+	got = FaultSummary(stats, []netip.Addr{netip.MustParseAddr("192.0.2.7")})
+	if !strings.Contains(got, "sidelined nameservers (1): 192.0.2.7") {
+		t.Fatalf("summary missing sidelined list:\n%s", got)
+	}
+}

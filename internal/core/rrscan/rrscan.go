@@ -63,15 +63,59 @@ type Scanner struct {
 	vantage []*dnsresolver.Client
 	workers int
 	next    int
+	hedge   bool
 }
 
 // NewScanner creates a scanner over the given vantage clients (the paper
-// uses five: Oregon, London, Sydney, Singapore, Tokyo).
+// uses five: Oregon, London, Sydney, Singapore, Tokyo). The scanner
+// inherits each client's retry policy; use SetPolicy to install one
+// uniformly and enable hedged scanning.
 func NewScanner(vantage []*dnsresolver.Client) *Scanner {
 	if len(vantage) == 0 {
 		panic("rrscan: at least one vantage client is required")
 	}
 	return &Scanner{vantage: append([]*dnsresolver.Client(nil), vantage...), workers: 1}
+}
+
+// SetPolicy installs the retry policy on every vantage client and, when
+// the policy hedges, makes each scan query offer the next nameserver in
+// the rotation as a hedge candidate alongside its primary. Call between
+// scans, not mid-scan.
+func (s *Scanner) SetPolicy(p dnsresolver.Policy) {
+	s.hedge = p.Hedge
+	for _, v := range s.vantage {
+		v.SetPolicy(p)
+	}
+}
+
+// Stats sums the resilience accounting across the vantage clients. For a
+// given seed and policy the totals are identical between serial and
+// parallel scans: query IDs (and therefore the fabric's content-hashed
+// fault decisions) depend only on the query identity, and the sideline
+// set is frozen between checkpoints.
+func (s *Scanner) Stats() dnsresolver.QueryStats {
+	var sum dnsresolver.QueryStats
+	for _, v := range s.vantage {
+		sum = sum.Add(v.Stats())
+	}
+	return sum
+}
+
+// Sidelined returns the union of currently sidelined nameservers across
+// the vantage clients, sorted.
+func (s *Scanner) Sidelined() []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	for _, v := range s.vantage {
+		for _, addr := range v.Health().Sidelined() {
+			seen[addr] = true
+		}
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for addr := range seen {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // SetWorkers sets the scan parallelism (default 1), mirroring
@@ -124,12 +168,25 @@ func (s *Scanner) scan(nsAddrs []netip.Addr, n int, item func(i int) (key, qname
 	base := s.next
 	s.next += n
 
+	// Pass boundary: fold the previous scan's health observations into
+	// sideline decisions while no queries are in flight.
+	for _, v := range s.vantage {
+		v.Checkpoint()
+	}
+
 	results := make([][]netip.Addr, n)
 	one := func(i int) {
 		client := s.vantage[(base+i)%len(s.vantage)]
 		_, qname := item(i)
-		server := nsAddrs[i%len(nsAddrs)]
-		resp, err := client.Exchange(server, qname, dnsmsg.TypeA)
+		// The i-th query's primary nameserver follows the serial rotation;
+		// under a hedging policy the next server in the rotation rides
+		// along as the alternate candidate, so a sidelined or lossy
+		// primary doesn't silently erase the domain from the scan.
+		servers := []netip.Addr{nsAddrs[i%len(nsAddrs)]}
+		if s.hedge && len(nsAddrs) > 1 {
+			servers = append(servers, nsAddrs[(i+1)%len(nsAddrs)])
+		}
+		resp, err := client.ExchangeAny(servers, qname, dnsmsg.TypeA)
 		if err != nil || resp.Header.RCode != dnsmsg.RCodeNoError {
 			return
 		}
@@ -261,6 +318,7 @@ func (l *CNAMELibrary) Apexes() []dnsmsg.Name {
 // resolver is safe for concurrent use and its sharded cache keeps the
 // workers from serializing.
 func (l *CNAMELibrary) ResolveAll(resolver *dnsresolver.Resolver) map[dnsmsg.Name][]netip.Addr {
+	resolver.Checkpoint()
 	apexes := l.Apexes()
 	results := make([][]netip.Addr, len(apexes))
 	one := func(i int) {

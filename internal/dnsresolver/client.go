@@ -14,22 +14,44 @@ import (
 // Client issues single DNS queries to explicit servers over the fabric.
 // The residual-resolution scanner uses it to interrogate DPS nameservers
 // directly, bypassing normal delegation (the attack of paper §III-B).
+//
+// The client is the resilience layer of the measurement stack: a Policy
+// drives retries with deterministic backoff, a Health tracker sidelines
+// nameservers that keep timing out, and QueryStats accounts for every
+// attempt. Query IDs are a seeded hash of the query identity rather than
+// RNG draws, so two runs issuing the same logical queries put
+// byte-identical payloads on the wire regardless of goroutine scheduling
+// — the property the fabric's content-hashed fault plan and the
+// ParallelMatchesSerial guarantee both build on.
 type Client struct {
 	net    *netsim.Network
 	addr   netip.Addr
 	region netsim.Region
+	idSeed int64
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu     sync.Mutex
+	policy Policy
+
+	health *Health
+	stats  statsCounters
 }
 
 // NewClient creates a client attached at (addr, region) on the fabric.
-// The rng drives query-ID generation and must be non-nil.
+// The rng seeds query-ID generation (one draw at construction; IDs
+// themselves are hash-derived per query) and must be non-nil. The client
+// starts with NoRetryPolicy; campaigns opt in via SetPolicy.
 func NewClient(net *netsim.Network, addr netip.Addr, region netsim.Region, rng *rand.Rand) *Client {
 	if net == nil || rng == nil {
 		panic("dnsresolver: NewClient requires network and rng")
 	}
-	return &Client{net: net, addr: addr, region: region, rng: rng}
+	return &Client{
+		net:    net,
+		addr:   addr,
+		region: region,
+		idSeed: rng.Int63(),
+		policy: NoRetryPolicy().normalized(),
+		health: NewHealth(),
+	}
 }
 
 // Addr returns the client's source address.
@@ -38,18 +60,122 @@ func (c *Client) Addr() netip.Addr { return c.addr }
 // Region returns the client's region.
 func (c *Client) Region() netsim.Region { return c.region }
 
-// ErrBadResponse indicates a response that failed validation (wrong ID or
-// question).
-var ErrBadResponse = errors.New("dnsresolver: response failed validation")
-
-// Exchange sends one query for (name, qtype) to server and returns the
-// decoded response. Errors from the fabric (timeout, unreachable) pass
-// through wrapped.
-func (c *Client) Exchange(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+// SetPolicy installs the retry policy. Call it between passes, not while
+// queries are in flight elsewhere, if deterministic accounting matters.
+func (c *Client) SetPolicy(p Policy) {
 	c.mu.Lock()
-	id := uint16(c.rng.Intn(1 << 16))
+	c.policy = p.normalized()
 	c.mu.Unlock()
+}
 
+// Policy returns the active policy.
+func (c *Client) Policy() Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
+
+// Health returns the client's nameserver health tracker.
+func (c *Client) Health() *Health { return c.health }
+
+// Checkpoint folds the current pass's health observations into sideline
+// decisions. The measurement loops call it at pass boundaries while the
+// fabric is quiescent; within a pass the sideline set is frozen, which
+// keeps server selection independent of query interleaving.
+func (c *Client) Checkpoint() { c.health.Checkpoint(c.Policy()) }
+
+// Stats returns a snapshot of the client's resilience accounting.
+func (c *Client) Stats() QueryStats { return c.stats.snapshot(c.health) }
+
+// ResetStats zeroes the accounting counters (not the health state).
+func (c *Client) ResetStats() { c.stats.reset() }
+
+// Errors distinguishing why an exchange failed.
+var (
+	// ErrBadResponse indicates a response that decoded but failed
+	// validation (wrong ID or question). This can indicate spoofing, so it
+	// is fatal: the client never blindly retries past it.
+	ErrBadResponse = errors.New("dnsresolver: response failed validation")
+	// ErrCorruptReply indicates a reply that failed wire decoding — a
+	// transport-level mangling, retryable like a timeout.
+	ErrCorruptReply = errors.New("dnsresolver: reply failed wire decoding")
+	// ErrNoServers indicates an exchange was asked of an empty server set.
+	ErrNoServers = errors.New("dnsresolver: no servers to query")
+)
+
+// Exchange queries (name, qtype) against a single server under the
+// client's policy: up to Policy.MaxAttempts attempts with deterministic
+// backoff accounting, retrying timeouts and corrupt replies but never
+// validation failures.
+func (c *Client) Exchange(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+	return c.ExchangeAny([]netip.Addr{server}, name, qtype)
+}
+
+// ExchangeAny queries (name, qtype) against a candidate server set.
+// Sidelined servers are filtered out first (unless that would leave
+// none); attempts then rotate through the remaining candidates starting
+// at the first, with a total budget of max(Policy.MaxAttempts,
+// candidates) so every candidate is tried at least once. An attempt on a
+// server other than the first candidate is a hedge in the accounting.
+func (c *Client) ExchangeAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("exchange %s %s: %w", name, qtype, ErrNoServers)
+	}
+	p := c.Policy()
+	cands := c.health.filterAvailable(servers)
+	budget := p.MaxAttempts
+	if len(cands) > budget {
+		budget = len(cands)
+	}
+
+	c.stats.queries.Add(1)
+	var lastErr error
+	for attempt := 1; attempt <= budget; attempt++ {
+		server := cands[(attempt-1)%len(cands)]
+		if attempt > 1 {
+			c.stats.retries.Add(1)
+			c.stats.backoffNanos.Add(int64(p.Backoff(c.idSeed, server, name, qtype, attempt)))
+		}
+		if server != cands[0] {
+			c.stats.hedges.Add(1)
+		}
+
+		resp, err := c.attempt(server, name, qtype, attempt)
+		if err == nil {
+			c.health.ObserveSuccess(server)
+			if attempt > 1 {
+				c.stats.recovered.Add(1)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		switch {
+		case errors.Is(err, netsim.ErrTimeout):
+			c.stats.timeouts.Add(1)
+			c.health.ObserveTimeout(server)
+		case errors.Is(err, ErrCorruptReply):
+			c.stats.corrupt.Add(1)
+		default:
+			// Fatal: validation failure (possible spoofing), unreachable
+			// endpoint, or a handler error. Retrying blindly is either
+			// unsafe or pointless.
+			if errors.Is(err, ErrBadResponse) {
+				c.stats.bad.Add(1)
+			}
+			c.stats.failed.Add(1)
+			return nil, err
+		}
+	}
+	c.stats.failed.Add(1)
+	return nil, lastErr
+}
+
+// attempt performs one wire exchange. The query ID is a hash of the query
+// identity and attempt number: deterministic across runs, distinct across
+// a query's attempts (each retry re-rolls the fabric's fault decisions).
+func (c *Client) attempt(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type, attempt int) (*dnsmsg.Message, error) {
+	c.stats.attempts.Add(1)
+	id := uint16(queryHash(c.idSeed, server, name, qtype, attempt))
 	query := dnsmsg.NewQuery(id, name, qtype)
 	wire := dnsmsg.MustEncode(query)
 	ep := netsim.Endpoint{Addr: server, Port: netsim.PortDNS}
@@ -59,7 +185,7 @@ func (c *Client) Exchange(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type
 	}
 	resp, err := dnsmsg.Decode(raw)
 	if err != nil {
-		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, err)
+		return nil, fmt.Errorf("exchange %s %s with %s: %w: %v", name, qtype, server, ErrCorruptReply, err)
 	}
 	if resp.Header.ID != id || !resp.Header.Response {
 		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, ErrBadResponse)

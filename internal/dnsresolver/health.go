@@ -1,0 +1,147 @@
+package dnsresolver
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Health tracks per-nameserver availability from observed query outcomes
+// and sidelines servers that keep timing out.
+//
+// Observations accumulate as per-pass booleans (did the server answer at
+// all? did it time out at all?) and fold into sidelining decisions only
+// at Checkpoint, which the measurement loops call at pass boundaries
+// while the world is quiescent. Two properties follow:
+//
+//   - Within a pass the sideline set is frozen, so server selection is
+//     identical however the pass's queries interleave.
+//   - The per-pass booleans are order-independent (a set union), so the
+//     checkpoint decision is too: serial and parallel passes that observe
+//     the same logical outcomes sideline the same servers.
+//
+// A server with SidelineAfter consecutive all-timeout passes is sidelined
+// for SidelineFor passes, then probed back in: it becomes selectable
+// again, and the next pass's outcomes decide whether it stays.
+type Health struct {
+	mu      sync.Mutex
+	entries map[netip.Addr]*healthEntry
+	events  uint64 // total sideline transitions
+}
+
+type healthEntry struct {
+	// Current-pass observations (set union; order-independent).
+	sawSuccess bool
+	sawTimeout bool
+	// Folded state, mutated only in Checkpoint.
+	consecBadPasses int
+	sidelinedFor    int
+	sidelined       uint64 // times this server was sidelined
+}
+
+// NewHealth creates an empty tracker.
+func NewHealth() *Health {
+	return &Health{entries: make(map[netip.Addr]*healthEntry)}
+}
+
+func (h *Health) entry(addr netip.Addr) *healthEntry {
+	e, ok := h.entries[addr]
+	if !ok {
+		e = &healthEntry{}
+		h.entries[addr] = e
+	}
+	return e
+}
+
+// ObserveSuccess records that addr answered a query this pass.
+func (h *Health) ObserveSuccess(addr netip.Addr) {
+	h.mu.Lock()
+	h.entry(addr).sawSuccess = true
+	h.mu.Unlock()
+}
+
+// ObserveTimeout records that a query to addr timed out this pass.
+func (h *Health) ObserveTimeout(addr netip.Addr) {
+	h.mu.Lock()
+	h.entry(addr).sawTimeout = true
+	h.mu.Unlock()
+}
+
+// Available reports whether addr is selectable (not sidelined). Unknown
+// servers are available.
+func (h *Health) Available(addr netip.Addr) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.entries[addr]
+	return !ok || e.sidelinedFor == 0
+}
+
+// Checkpoint folds the pass's observations into sideline state under the
+// given policy and resets them. Call it at pass boundaries only, from one
+// goroutine, while no queries are in flight.
+func (h *Health) Checkpoint(p Policy) {
+	p = p.normalized()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, e := range h.entries {
+		if e.sidelinedFor > 0 {
+			// Sitting out; observations (there should be none unless every
+			// candidate was sidelined) don't count against the sentence.
+			e.sidelinedFor--
+			e.sawSuccess, e.sawTimeout = false, false
+			continue
+		}
+		switch {
+		case e.sawSuccess:
+			e.consecBadPasses = 0
+		case e.sawTimeout:
+			e.consecBadPasses++
+			if p.SidelineAfter > 0 && e.consecBadPasses >= p.SidelineAfter {
+				e.sidelinedFor = p.SidelineFor
+				e.consecBadPasses = 0
+				e.sidelined++
+				h.events++
+			}
+		}
+		e.sawSuccess, e.sawTimeout = false, false
+	}
+}
+
+// Sidelined returns the currently sidelined server addresses, sorted.
+func (h *Health) Sidelined() []netip.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []netip.Addr
+	for addr, e := range h.entries {
+		if e.sidelinedFor > 0 {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Events returns the total number of sideline transitions ever made.
+func (h *Health) Events() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.events
+}
+
+// filterAvailable returns the available subset of servers in order; when
+// every candidate is sidelined it returns servers unchanged, so health
+// can degrade selection but never strand a query.
+func (h *Health) filterAvailable(servers []netip.Addr) []netip.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	avail := servers[:0:0]
+	for _, s := range servers {
+		if e, ok := h.entries[s]; !ok || e.sidelinedFor == 0 {
+			avail = append(avail, s)
+		}
+	}
+	if len(avail) == 0 {
+		return servers
+	}
+	return avail
+}

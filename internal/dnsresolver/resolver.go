@@ -102,8 +102,12 @@ type Config struct {
 	Region netsim.Region
 	// Roots are the root nameserver addresses. At least one is required.
 	Roots []netip.Addr
-	// Rand drives query IDs and server selection. Required.
+	// Rand seeds query-ID generation. Required.
 	Rand *rand.Rand
+	// Policy is the client's retry policy. Nil means NoRetryPolicy (one
+	// attempt per candidate server, no sidelining) — the pre-resilience
+	// behaviour. The campaign runners install DefaultPolicy instead.
+	Policy *Policy
 }
 
 // Resolver is an iterative resolver with cache. Safe for concurrent use.
@@ -124,8 +128,12 @@ func New(cfg Config) *Resolver {
 	if len(cfg.Roots) == 0 {
 		panic("dnsresolver: at least one root server is required")
 	}
+	client := NewClient(cfg.Network, cfg.Addr, cfg.Region, cfg.Rand)
+	if cfg.Policy != nil {
+		client.SetPolicy(*cfg.Policy)
+	}
 	return &Resolver{
-		client: NewClient(cfg.Network, cfg.Addr, cfg.Region, cfg.Rand),
+		client: client,
 		clock:  cfg.Clock,
 		roots:  append([]netip.Addr(nil), cfg.Roots...),
 		cache:  newCache(),
@@ -135,6 +143,19 @@ func New(cfg Config) *Resolver {
 
 // Client returns the resolver's underlying direct-query client.
 func (r *Resolver) Client() *Client { return r.client }
+
+// SetPolicy installs the retry policy on the underlying client.
+func (r *Resolver) SetPolicy(p Policy) { r.client.SetPolicy(p) }
+
+// Stats returns the underlying client's resilience accounting.
+func (r *Resolver) Stats() QueryStats { return r.client.Stats() }
+
+// Health returns the underlying client's nameserver health tracker.
+func (r *Resolver) Health() *Health { return r.client.Health() }
+
+// Checkpoint folds the pass's health observations into sideline state.
+// The measurement loops call it at pass boundaries.
+func (r *Resolver) Checkpoint() { r.client.Checkpoint() }
 
 // PurgeCache empties the resolver's cache. The paper's collector does this
 // before every daily snapshot so consecutive measurements are independent.
@@ -284,15 +305,16 @@ func (r *Resolver) negativeTTL(resp *dnsmsg.Message) time.Duration {
 	return r.negTTL
 }
 
-// queryAny tries servers in order until one responds.
+// queryAny asks the candidate servers under the client's retry policy:
+// sidelined servers are skipped, attempts rotate across the rest, and
+// with NoRetryPolicy this reduces to the classic try-each-server-once
+// loop.
 func (r *Resolver) queryAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, bool) {
-	for _, s := range servers {
-		resp, err := r.client.Exchange(s, name, qtype)
-		if err == nil {
-			return resp, true
-		}
+	resp, err := r.client.ExchangeAny(servers, name, qtype)
+	if err != nil {
+		return nil, false
 	}
-	return nil, false
+	return resp, true
 }
 
 // hostAddrs maps nameserver hostnames to addresses, using glue from cache

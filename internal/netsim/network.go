@@ -8,8 +8,11 @@
 // nearest to the sender's region, mirroring how Cloudflare's anycast DNS
 // spreads load across PoPs (paper §V-A.1, Fig. 7).
 //
-// The fabric also provides failure injection (packet loss, per-endpoint
-// blackholing) and per-endpoint accounting used by the Fig. 7 experiment.
+// The fabric also provides failure injection — legacy shared-RNG packet
+// loss, per-endpoint blackholing, and the deterministic FaultConfig plan
+// (seeded uniform loss, burst windows, per-endpoint flakiness, reply
+// corruption) — plus per-endpoint accounting used by the Fig. 7
+// experiment.
 package netsim
 
 import (
@@ -114,11 +117,13 @@ type Network struct {
 	clock    clockface
 	lossRate float64
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	endpoints map[Endpoint]*endpointState
-	sends     uint64
-	drops     uint64
+	mu         sync.Mutex
+	rng        *rand.Rand
+	endpoints  map[Endpoint]*endpointState
+	sends      uint64
+	drops      uint64
+	faults     FaultConfig
+	faultStats FaultStats
 }
 
 // New creates a Network. It panics if cfg.Clock is nil or if LossRate > 0
@@ -214,6 +219,28 @@ func (n *Network) Send(from netip.Addr, fromRegion Region, to Endpoint, payload 
 		n.mu.Unlock()
 		return nil, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
 	}
+	var outcome faultOutcome
+	if n.faults.Enabled() {
+		// decide() is pure; it runs under the lock only because the plan
+		// and the clock read must be consistent with the counters.
+		outcome = n.faults.decide(n.clock.Now(), to, payload)
+		if outcome.drop {
+			n.drops++
+			switch outcome.cause {
+			case saltUniform:
+				n.faultStats.UniformDrops++
+			case saltBurstDrop:
+				n.faultStats.BurstDrops++
+			case saltFlakyDrop:
+				n.faultStats.FlakyDrops++
+			}
+			n.mu.Unlock()
+			return nil, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
+		}
+		if outcome.corrupt {
+			n.faultStats.Corrupted++
+		}
+	}
 	st, ok := n.endpoints[to]
 	if !ok || len(st.instances) == 0 {
 		n.mu.Unlock()
@@ -254,6 +281,9 @@ func (n *Network) Send(from netip.Addr, fromRegion Region, to Endpoint, payload 
 		// timeout, exactly like querying a DPS nameserver for a domain it
 		// no longer serves.
 		return nil, fmt.Errorf("no answer from %s: %w", to, ErrTimeout)
+	}
+	if outcome.corrupt {
+		return corruptPayload(resp), nil
 	}
 	return resp, nil
 }

@@ -99,6 +99,13 @@ func New(cfg Config) *World {
 		netCfg.Rand = rand.New(rand.NewSource(cfg.Seed + 1))
 	}
 	w.Net = netsim.New(netCfg)
+	if cfg.Faults.Enabled() {
+		faults := cfg.Faults
+		if faults.Seed == 0 {
+			faults.Seed = cfg.Seed + 9
+		}
+		w.Net.SetFaults(faults)
+	}
 
 	w.buildDNSBackbone()
 	w.buildProviders()
