@@ -12,9 +12,11 @@ import (
 	"runtime"
 	"time"
 
+	"rrdps/internal/cmdutil"
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
 	"rrdps/internal/dnsresolver"
+	"rrdps/internal/obs"
 	"rrdps/internal/world"
 )
 
@@ -26,6 +28,9 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the daily collection loop (1 = serial; snapshots are identical either way)")
 	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
 	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
+	metrics := flag.String("metrics", "", "emit an observability dump after the campaign: text or json")
+	metricsOut := flag.String("metrics-out", "", "write the -metrics dump to this file instead of stdout")
+	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles around the campaign body")
 	flag.Parse()
 	if *sites <= 0 || *days <= 0 || *boost <= 0 || *workers <= 0 || *retries <= 0 {
 		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, -churn-boost, -workers, and -retries must be positive")
@@ -47,7 +52,19 @@ func main() {
 	w := world.New(cfg)
 	fmt.Printf("world ready in %v; running %d-day campaign...\n\n", time.Since(start).Round(time.Millisecond), *days)
 
-	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers, Policy: &policy}.Run()
+	reg := obs.NewRegistry()
+	stopProfiles, err := cmdutil.StartProfiles(*pprofPrefix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
+		os.Exit(1)
+	}
+
+	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers, Policy: &policy, Obs: reg}.Run()
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Println(res.String())
 	fmt.Printf("retry policy: %s\n", policy)
@@ -57,4 +74,9 @@ func main() {
 	fmt.Println(report.Figure5(res))
 	fmt.Println(report.Figure6(res))
 	fmt.Println(report.TableV(res))
+
+	if err := cmdutil.EmitMetrics(reg, *metrics, *metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -12,11 +12,13 @@ import (
 	"runtime"
 	"time"
 
+	"rrdps/internal/cmdutil"
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
+	"rrdps/internal/obs"
 	"rrdps/internal/world"
 )
 
@@ -26,10 +28,13 @@ func main() {
 	seed := flag.Int64("seed", 1815, "world seed")
 	boost := flag.Float64("churn-boost", 8, "multiply leave/switch hazards so a small world yields residual records")
 	warmup := flag.Int("warmup", 28, "days of world history to simulate before the first scan")
-	incStart := flag.Int("incapsula-start", 0, "week after which the Incapsula CNAME tracking begins (the paper covers its last three weeks)")
+	incStart := flag.Int("incapsula-start", 0, "first week (1-based, inclusive) the Incapsula CNAME re-resolution runs; 0 or 1 = every week (the paper covers its last three)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the collection/scan/filter loops (1 = serial; results are identical either way)")
 	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
 	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
+	metrics := flag.String("metrics", "", "emit an observability dump after the campaign: text or json")
+	metricsOut := flag.String("metrics-out", "", "write the -metrics dump to this file instead of stdout")
+	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles around the campaign body")
 	flag.Parse()
 	if *sites <= 0 || *weeks <= 0 || *boost <= 0 || *workers <= 0 || *retries <= 0 {
 		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, -churn-boost, -workers, and -retries must be positive")
@@ -50,6 +55,13 @@ func main() {
 	w := world.New(cfg)
 	fmt.Printf("world ready in %v; running %d-week campaign...\n\n", time.Since(start).Round(time.Millisecond), *weeks)
 
+	reg := obs.NewRegistry()
+	stopProfiles, err := cmdutil.StartProfiles(*pprofPrefix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
+		os.Exit(1)
+	}
+
 	res := experiment.Residual{
 		World:              w,
 		Weeks:              *weeks,
@@ -57,7 +69,13 @@ func main() {
 		IncapsulaStartWeek: *incStart,
 		Workers:            *workers,
 		Policy:             &policy,
+		Obs:                reg,
 	}.Run()
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Println(res.String())
 	fmt.Printf("cloudflare NS-rerouting nameservers discovered: %d\n\n", res.NameserverCount)
@@ -74,5 +92,10 @@ func main() {
 				fmt.Println(report.Figure7(counts))
 			}
 		}
+	}
+
+	if err := cmdutil.EmitMetrics(reg, *metrics, *metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,78 @@
+// Package cmdutil holds the observability plumbing shared by the cmd
+// binaries: emitting a metrics dump as text or JSON, and capturing
+// CPU/heap profiles around a campaign body.
+package cmdutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"rrdps/internal/core/report"
+	"rrdps/internal/obs"
+)
+
+// EmitMetrics writes a registry dump in the given mode ("text" or
+// "json") to path, or to stdout when path is empty. An empty mode is a
+// no-op, so callers can pass the -metrics flag value straight through.
+func EmitMetrics(r *obs.Registry, mode, path string) error {
+	var body string
+	switch mode {
+	case "":
+		return nil
+	case "text":
+		body = report.Observability(r.Dump())
+	case "json":
+		raw, err := json.MarshalIndent(r.Dump(), "", "  ")
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		body = string(raw) + "\n"
+	default:
+		return fmt.Errorf("metrics: unknown mode %q (want text or json)", mode)
+	}
+	if path == "" {
+		_, err := os.Stdout.WriteString(body)
+		return err
+	}
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+// StartProfiles begins a CPU profile at <prefix>.cpu.pprof and returns a
+// stop function that ends it and writes a heap profile to
+// <prefix>.heap.pprof. An empty prefix disables profiling (the stop
+// function is still non-nil and safe to call).
+func StartProfiles(prefix string) (stop func() error, err error) {
+	if prefix == "" {
+		return func() error { return nil }, nil
+	}
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		heap, err := os.Create(prefix + ".heap.pprof")
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		defer heap.Close()
+		runtime.GC() // fresh allocation picture before the heap snapshot
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		return nil
+	}, nil
+}

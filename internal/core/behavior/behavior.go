@@ -69,6 +69,13 @@ type PauseWindow struct {
 	Resumed bool
 	// ResumedAt is the provider where protection resumed.
 	ResumedAt dps.ProviderKey
+	// Censored is true when the window was opened at a baseline
+	// observation — the campaign's day 0, or a domain's first appearance
+	// mid-campaign — where the site was already OFF. The true start of
+	// such a window predates observation by an unknown amount, so its
+	// Days() is a lower bound; duration statistics (the Fig. 5 CDF) must
+	// exclude censored windows or they skew short.
+	Censored bool
 }
 
 // Days returns the window length in days.
@@ -119,10 +126,14 @@ func (t *Tracker) Observe(day int, cur map[dnsmsg.Name]status.Adoption) []Detect
 		prev, seen := t.prev[apex]
 		t.prev[apex] = adoption
 		if first || !seen {
-			// Baseline day: record state, detect nothing; but a site first
-			// seen OFF has an open exposure window.
+			// Baseline observation — the campaign's first day, or a domain
+			// appearing mid-campaign: record state, detect nothing; but a
+			// site first seen OFF has an open exposure window. Its true
+			// start is unobserved (the site may have been OFF for weeks
+			// already), so the window is censored and excluded from
+			// duration statistics.
 			if adoption.Status == status.StatusOff {
-				t.openPauses[apex] = PauseWindow{Apex: apex, Provider: adoption.Provider, StartDay: day}
+				t.openPauses[apex] = PauseWindow{Apex: apex, Provider: adoption.Provider, StartDay: day, Censored: true}
 			}
 			continue
 		}

@@ -202,6 +202,59 @@ func TestOffAtBaselineOpensWindow(t *testing.T) {
 	if len(ws) != 1 || ws[0].Days() != 2 {
 		t.Fatalf("windows = %+v", ws)
 	}
+	if !ws[0].Censored {
+		t.Fatal("day-0 baseline window must be censored: its true start is unobserved")
+	}
+}
+
+// TestLateAppearingOffDomainCensored is the ISSUE 3 regression test: a
+// domain first seen OFF in the MIDDLE of a campaign (it resolved for the
+// first time on day 3) is a baseline observation for that domain, so its
+// window must open — and be censored — exactly like a day-0 baseline.
+// Before the provenance fix, such windows entered duration statistics
+// with a truncated (lower-bound) length.
+func TestLateAppearingOffDomainCensored(t *testing.T) {
+	const early = dnsmsg.Name("early.com")
+	const late = dnsmsg.Name("late.com")
+	tr := NewTracker(nil)
+
+	// Days 0-2: only early.com is observable; late.com's resolution fails.
+	tr.Observe(0, day(early, on(dps.Cloudflare)))
+	tr.Observe(1, day(early, on(dps.Cloudflare)))
+	tr.Observe(2, day(early, on(dps.Cloudflare)))
+
+	// Day 3: late.com appears for the first time, already OFF. No
+	// detection may fire (there is no previous state to diff against), but
+	// an exposure window must open.
+	dets := tr.Observe(3, map[dnsmsg.Name]status.Adoption{
+		early: off(dps.Cloudflare),
+		late:  off(dps.Incapsula),
+	})
+	for _, d := range dets {
+		if d.Apex == late {
+			t.Fatalf("baseline appearance produced detection %+v", d)
+		}
+	}
+	if tr.OpenPauseCount() != 2 {
+		t.Fatalf("open pauses = %d, want 2", tr.OpenPauseCount())
+	}
+
+	// Day 5: both resume.
+	tr.Observe(5, map[dnsmsg.Name]status.Adoption{
+		early: on(dps.Cloudflare),
+		late:  on(dps.Incapsula),
+	})
+	byApex := map[dnsmsg.Name]PauseWindow{}
+	for _, w := range tr.PauseWindows() {
+		byApex[w.Apex] = w
+	}
+	if w := byApex[late]; !w.Censored || w.StartDay != 3 || w.EndDay != 5 {
+		t.Fatalf("late window = %+v, want censored [3,5]", w)
+	}
+	// early.com's pause was observed ON→OFF, so it is a measured window.
+	if w := byApex[early]; w.Censored || w.Days() != 2 {
+		t.Fatalf("early window = %+v, want measured 2-day window", w)
+	}
 }
 
 func TestKindStrings(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"rrdps/internal/alexa"
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/dnsresolver"
+	"rrdps/internal/obs"
 )
 
 // Record is one domain's records in a snapshot.
@@ -60,6 +61,7 @@ type Collector struct {
 	resolver *dnsresolver.Resolver
 	domains  []alexa.Domain
 	workers  int
+	obs      *obs.Registry
 }
 
 // New creates a collector over the given domain list.
@@ -83,6 +85,16 @@ func (c *Collector) SetWorkers(n int) {
 	c.workers = n
 }
 
+// SetObserver installs a metrics registry on the collector and its
+// resolver. Collection counters (collect.*) are derived from the
+// assembled snapshot on the caller's goroutine, so they are deterministic
+// regardless of worker count; the resolver's dns.* counters are volatile.
+// Nil uninstalls.
+func (c *Collector) SetObserver(r *obs.Registry) {
+	c.obs = r
+	c.resolver.SetObserver(r)
+}
+
 // Collect takes one snapshot labelled with day. The resolver cache is
 // purged first, exactly as the paper does between daily experiments, and
 // the resolver's nameserver-health tracker is checkpointed so the
@@ -100,6 +112,8 @@ func (c *Collector) SetWorkers(n int) {
 // hit/miss interleaving cannot change any record's value, and (c) the
 // snapshot map is keyed by apex, so assembly order is irrelevant.
 func (c *Collector) Collect(day int) Snapshot {
+	span := c.obs.Tracer().StartSpan("collect", fmt.Sprintf("day %d", day))
+	defer span.End()
 	c.resolver.Checkpoint()
 	c.resolver.PurgeCache()
 	snap := Snapshot{Day: day, Records: make(map[dnsmsg.Name]Record, len(c.domains))}
@@ -107,6 +121,7 @@ func (c *Collector) Collect(day int) Snapshot {
 		for _, d := range c.domains {
 			snap.Records[d.Apex] = c.collectOne(d)
 		}
+		c.countSnapshot(span, snap)
 		return snap
 	}
 
@@ -129,7 +144,31 @@ func (c *Collector) Collect(day int) Snapshot {
 	for i, d := range c.domains {
 		snap.Records[d.Apex] = records[i]
 	}
+	c.countSnapshot(span, snap)
 	return snap
+}
+
+// countSnapshot accounts a completed snapshot. It runs on the caller's
+// goroutine over the assembled (worker-order-independent) records, so the
+// collect.* counters are deterministic even when collection ran parallel.
+func (c *Collector) countSnapshot(span *obs.Span, snap Snapshot) {
+	span.SetItems(len(snap.Records))
+	if c.obs == nil {
+		return
+	}
+	var resolveOK, nsOK uint64
+	for _, rec := range snap.Records {
+		if rec.ResolveOK {
+			resolveOK++
+		}
+		if rec.NSOK {
+			nsOK++
+		}
+	}
+	c.obs.Counter("collect.snapshots").Inc()
+	c.obs.Counter("collect.domains").Add(uint64(len(snap.Records)))
+	c.obs.Counter("collect.resolve_ok").Add(resolveOK)
+	c.obs.Counter("collect.ns_ok").Add(nsOK)
 }
 
 func (c *Collector) collectOne(d alexa.Domain) Record {

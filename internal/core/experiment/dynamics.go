@@ -20,6 +20,7 @@ import (
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
+	"rrdps/internal/obs"
 	"rrdps/internal/world"
 )
 
@@ -181,6 +182,10 @@ type Dynamics struct {
 	// resolver. Nil means dnsresolver.DefaultPolicy(); point it at a
 	// NoRetryPolicy value to measure the unprotected baseline.
 	Policy *dnsresolver.Policy
+	// Obs, when non-nil, receives the campaign's metrics and phase spans:
+	// stage counters from the collector and verifier, dns.* resilience
+	// counters from the resolver, and per-day spans.
+	Obs *obs.Registry
 }
 
 // _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
@@ -231,6 +236,12 @@ func (d Dynamics) Run() DynamicsResult {
 	classifier := status.New(matcher)
 	var tracker *behavior.Tracker // built after the first snapshot (multi-CDN detection)
 	verifier := htmlverify.New(w.NewHTTPClient(vantage))
+	if d.Obs != nil {
+		collector.SetObserver(d.Obs)
+		verifier.SetObserver(d.Obs)
+		d.Obs.Gauge("campaign.days").Set(int64(d.Days))
+		d.Obs.Gauge("campaign.domains").Set(int64(len(domains)))
+	}
 	topCut := len(domains) / 100
 	if topCut < 1 {
 		topCut = 1
@@ -240,6 +251,8 @@ func (d Dynamics) Run() DynamicsResult {
 	var prevSnap collect.Snapshot
 
 	for day := 0; day < d.Days; day++ {
+		daySpan := d.Obs.Tracer().StartSpan("day", fmt.Sprintf("day %d", day))
+		daySpan.SetItems(len(domains))
 		snap := collector.Collect(day)
 		classified := classifier.ClassifySnapshot(snap)
 
@@ -268,6 +281,7 @@ func (d Dynamics) Run() DynamicsResult {
 			// A long (2-day) gap before the next snapshot.
 			w.AdvanceDay()
 		}
+		daySpan.End()
 	}
 
 	res.Detections = tracker.Detections()

@@ -189,11 +189,44 @@ func TestResidualCloudflareDwarfsIncapsula(t *testing.T) {
 func TestResidualIncapsulaStartWeek(t *testing.T) {
 	w := residualWorld(600, 71)
 	res := Residual{World: w, Weeks: 4, IncapsulaStartWeek: 2}.Run()
-	if len(res.Incapsula) != 2 {
-		t.Fatalf("incapsula weeks = %d, want 2", len(res.Incapsula))
+	// Start-at-week-2 over 4 weeks tracks weeks 2, 3, 4 — the start week
+	// itself is included (the old `week >` comparison skipped it).
+	if len(res.Incapsula) != 3 {
+		t.Fatalf("incapsula weeks = %d, want 3", len(res.Incapsula))
 	}
 	if len(res.Cloudflare) != 4 {
 		t.Fatalf("cloudflare weeks = %d, want 4", len(res.Cloudflare))
+	}
+}
+
+// TestResidualWeekNumbering pins the week indices of both case studies:
+// Cloudflare reports carry weeks 1..Weeks, the delayed Incapsula reports
+// carry IncapsulaStartWeek..Weeks — the same numbering, not a rebased
+// one — and each exposure tracker saw exactly those weeks. This is the
+// Cloudflare/Incapsula week-index handoff ISSUE 3 asks to pin, and it
+// also exercises exposure.Tracker.AddWeek's strictly-increasing
+// contract for a tracker whose first week is > 1.
+func TestResidualWeekNumbering(t *testing.T) {
+	w := residualWorld(600, 71)
+	res := Residual{World: w, Weeks: 5, IncapsulaStartWeek: 3}.Run()
+	for i, wr := range res.Cloudflare {
+		if wr.Week != i+1 {
+			t.Fatalf("cloudflare report %d has week %d, want %d", i, wr.Week, i+1)
+		}
+	}
+	if len(res.Incapsula) != 3 {
+		t.Fatalf("incapsula weeks = %d, want 3", len(res.Incapsula))
+	}
+	for i, wr := range res.Incapsula {
+		if want := i + 3; wr.Week != want {
+			t.Fatalf("incapsula report %d has week %d, want %d", i, wr.Week, want)
+		}
+	}
+	if got, _, _ := res.CFExposure.WeeklyCounts(); len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("cloudflare tracker weeks = %v", got)
+	}
+	if got, _, _ := res.IncExposure.WeeklyCounts(); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("incapsula tracker weeks = %v", got)
 	}
 }
 

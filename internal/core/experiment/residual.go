@@ -16,6 +16,7 @@ import (
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
+	"rrdps/internal/obs"
 	"rrdps/internal/world"
 )
 
@@ -57,8 +58,9 @@ type Residual struct {
 	World *world.World
 	// Weeks is the number of weekly scan rounds.
 	Weeks int
-	// IncapsulaStartWeek delays the Incapsula tracking (the paper's
-	// Incapsula study covers the last three weeks). Zero starts at once.
+	// IncapsulaStartWeek is the first week (1-based) the Incapsula
+	// re-resolution runs, delaying that case study (the paper's Incapsula
+	// study covers the last three weeks). Zero or one starts at week 1.
 	IncapsulaStartWeek int
 	// WarmupDays advances the world before the first scan so the
 	// population carries history (terminated customers, stale records),
@@ -82,6 +84,10 @@ type Residual struct {
 	// nameserver health sidelining. Point it at a NoRetryPolicy value to
 	// measure the unprotected baseline.
 	Policy *dnsresolver.Policy
+	// Obs, when non-nil, receives the campaign's metrics and phase spans:
+	// stage counters from every component, dns.* resilience counters from
+	// the shared resolver and each vantage client, and per-week spans.
+	Obs *obs.Registry
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
@@ -122,6 +128,15 @@ func (r Residual) Run() ResidualResult {
 		pipeline.SetWorkers(r.Workers)
 	}
 
+	if r.Obs != nil {
+		collector.SetObserver(r.Obs)
+		scanner.SetObserver(r.Obs)
+		cnameLib.SetObserver(r.Obs)
+		pipeline.SetObserver(r.Obs)
+		r.Obs.Gauge("campaign.weeks").Set(int64(r.Weeks))
+		r.Obs.Gauge("campaign.domains").Set(int64(len(domains)))
+	}
+
 	res := ResidualResult{
 		Weeks:       r.Weeks,
 		CFExposure:  exposure.NewTracker(),
@@ -132,8 +147,13 @@ func (r Residual) Run() ResidualResult {
 
 	// Warm-up: age the world so the first scan already sees residue, and
 	// feed the CNAME library weekly along the way.
+	var warmupSpan *obs.Span
+	if r.WarmupDays > 0 {
+		warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", r.WarmupDays))
+	}
 	for remaining := r.WarmupDays; remaining > 0; {
 		cnameLib.AddSnapshot(collector.Collect(w.Day()))
+		warmupSpan.AddItems(len(domains))
 		step := 7
 		if remaining < step {
 			step = remaining
@@ -141,6 +161,7 @@ func (r Residual) Run() ResidualResult {
 		w.AdvanceDays(step)
 		remaining -= step
 	}
+	warmupSpan.End()
 
 	auditLookup := func(name dnsmsg.Name) []netip.Addr {
 		res, err := resolver.Resolve(name, dnsmsg.TypeA)
@@ -151,6 +172,8 @@ func (r Residual) Run() ResidualResult {
 	}
 
 	for week := 1; week <= r.Weeks; week++ {
+		weekSpan := r.Obs.Tracer().StartSpan("week", fmt.Sprintf("week %d", week))
+		weekSpan.SetItems(len(domains))
 		if r.ProviderAudit {
 			resolver.PurgeCache()
 			for _, key := range []dps.ProviderKey{dps.Cloudflare, dps.Incapsula} {
@@ -176,8 +199,12 @@ func (r Residual) Run() ResidualResult {
 		res.Cloudflare = append(res.Cloudflare, WeeklyReport{Week: week, Report: cfReport})
 		res.CFExposure.AddWeek(week, cfReport)
 
-		// Incapsula case study: re-resolve the CNAME library.
-		if week > r.IncapsulaStartWeek {
+		// Incapsula case study: re-resolve the CNAME library starting at
+		// IncapsulaStartWeek itself. (This was `week >` for a while, which
+		// silently skipped the named start week — with the paper's
+		// "last three weeks of six" config that dropped a third of the
+		// Incapsula observations.)
+		if week >= r.IncapsulaStartWeek {
 			incScanned := cnameLib.ResolveAll(resolver)
 			incReport := pipeline.Run(dps.Incapsula, incScanned)
 			res.Incapsula = append(res.Incapsula, WeeklyReport{Week: week, Report: incReport})
@@ -186,6 +213,7 @@ func (r Residual) Run() ResidualResult {
 
 		// A week of usage dynamics between scans.
 		w.AdvanceDays(7)
+		weekSpan.End()
 	}
 
 	// The collector, filter pipeline, CNAME library, and nameserver

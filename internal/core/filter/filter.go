@@ -17,6 +17,7 @@ import (
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
+	"rrdps/internal/obs"
 )
 
 // Hidden is one hidden record: an address only retrievable from the DPS
@@ -93,6 +94,7 @@ type Pipeline struct {
 	resolver *dnsresolver.Resolver
 	verifier *htmlverify.Verifier
 	workers  int
+	obs      *obs.Registry
 }
 
 // New creates a pipeline. resolver performs the "normal resolutions" of
@@ -115,6 +117,15 @@ func (p *Pipeline) SetWorkers(n int) {
 	p.workers = n
 }
 
+// SetObserver installs a metrics registry on the pipeline and forwards it
+// to the verifier, so one call wires the whole Fig. 8 chain. The filter.*
+// counters are derived from the assembled report, hence deterministic;
+// nil uninstalls.
+func (p *Pipeline) SetObserver(r *obs.Registry) {
+	p.obs = r
+	p.verifier.SetObserver(r)
+}
+
 // apexResult is one apex's contribution to the report.
 type apexResult struct {
 	dropped  int
@@ -128,6 +139,9 @@ type apexResult struct {
 // verifications dominate the cost — and the report keeps the deterministic
 // sorted-apex ordering.
 func (p *Pipeline) Run(provider dps.ProviderKey, scanned map[dnsmsg.Name][]netip.Addr) Report {
+	span := p.obs.Tracer().StartSpan("filter", string(provider))
+	span.SetItems(len(scanned))
+	defer span.End()
 	p.resolver.Checkpoint()
 	rep := Report{Provider: provider, Scanned: len(scanned)}
 
@@ -169,7 +183,27 @@ func (p *Pipeline) Run(provider dps.ProviderKey, scanned map[dnsmsg.Name][]netip
 		rep.Hidden = append(rep.Hidden, r.hidden...)
 		rep.Outcomes = append(rep.Outcomes, r.outcomes...)
 	}
+	p.countReport(results, rep)
 	return rep
+}
+
+// countReport accounts one pass from the assembled report — single
+// goroutine, order-independent values, so filter.* stays deterministic.
+func (p *Pipeline) countReport(results []apexResult, rep Report) {
+	if p.obs == nil {
+		return
+	}
+	p.obs.Counter("filter.runs").Inc()
+	p.obs.Counter("filter.scanned").Add(uint64(rep.Scanned))
+	p.obs.Counter("filter.dropped_ip").Add(uint64(rep.DroppedByIPFilter))
+	p.obs.Counter("filter.hidden").Add(uint64(len(rep.Hidden)))
+	p.obs.Counter("filter.verified").Add(uint64(len(rep.VerifiedOrigins())))
+	hist := p.obs.Histogram("filter.hidden_per_apex")
+	for _, r := range results {
+		if len(r.hidden) > 0 {
+			hist.Observe(uint64(len(r.hidden)))
+		}
+	}
 }
 
 // runApex runs the three Fig. 8 stages for one apex.

@@ -11,11 +11,13 @@
 package htmlverify
 
 import (
+	"fmt"
 	"net/netip"
 	"sync"
 
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/httpsim"
+	"rrdps/internal/obs"
 )
 
 // Result is one verification outcome.
@@ -34,6 +36,7 @@ type Result struct {
 // Verifier compares landing pages.
 type Verifier struct {
 	client *httpsim.Client
+	obs    *obs.Registry
 }
 
 // New creates a verifier fetching through client.
@@ -44,9 +47,21 @@ func New(client *httpsim.Client) *Verifier {
 	return &Verifier{client: client}
 }
 
+// SetObserver installs a metrics registry. Each comparison's outcome is
+// independent of interleaving (pages are static within a pass), so the
+// verify.* counters are deterministic. Call between passes; nil
+// uninstalls.
+func (v *Verifier) SetObserver(r *obs.Registry) { v.obs = r }
+
 // Verify fetches host's landing page from refAddr and candAddr and
 // compares them.
 func (v *Verifier) Verify(host dnsmsg.Name, refAddr, candAddr netip.Addr) Result {
+	res := v.verify(host, refAddr, candAddr)
+	v.count(res)
+	return res
+}
+
+func (v *Verifier) verify(host dnsmsg.Name, refAddr, candAddr netip.Addr) Result {
 	var res Result
 	res.Reference, res.RefOK = v.fetch(host, refAddr)
 	if !res.RefOK {
@@ -60,6 +75,21 @@ func (v *Verifier) Verify(host dnsmsg.Name, refAddr, candAddr netip.Addr) Result
 	return res
 }
 
+func (v *Verifier) count(res Result) {
+	if v.obs == nil {
+		return
+	}
+	v.obs.Counter("verify.comparisons").Inc()
+	if res.Match {
+		v.obs.Counter("verify.matches").Inc()
+	}
+	if !res.RefOK {
+		v.obs.Counter("verify.ref_fail").Inc()
+	} else if !res.CandOK {
+		v.obs.Counter("verify.cand_fail").Inc()
+	}
+}
+
 // VerifyBatch runs Verify for every candidate address against the same
 // public reference view, fanning the verifications over at most workers
 // goroutines. Results come back in candAddrs order; each slot equals what
@@ -68,6 +98,9 @@ func (v *Verifier) Verify(host dnsmsg.Name, refAddr, candAddr netip.Addr) Result
 // strict comparison no matter the interleaving). workers <= 1 degenerates
 // to the serial loop.
 func (v *Verifier) VerifyBatch(host dnsmsg.Name, refAddr netip.Addr, candAddrs []netip.Addr, workers int) []Result {
+	span := v.obs.Tracer().StartSpan("verify", fmt.Sprintf("%s: %d candidates", host, len(candAddrs)))
+	span.SetItems(len(candAddrs))
+	defer span.End()
 	out := make([]Result, len(candAddrs))
 	if workers <= 1 || len(candAddrs) <= 1 {
 		for i, cand := range candAddrs {

@@ -100,10 +100,13 @@ func Figure3(res experiment.DynamicsResult) string {
 }
 
 // PauseCDF builds the Fig. 5 empirical CDFs: overall and per provider.
+// Censored windows — opened at a baseline observation, where the true
+// start predates the campaign — are excluded: their durations are lower
+// bounds and would skew the CDF short.
 func PauseCDF(res experiment.DynamicsResult) (overall, cloudflare, incapsula *stats.CDF) {
 	var all, cf, inc []float64
 	for _, w := range res.PauseWindows {
-		if !w.Resumed {
+		if !w.Resumed || w.Censored {
 			continue
 		}
 		days := float64(w.Days())

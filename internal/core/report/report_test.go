@@ -4,8 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"rrdps/internal/core/behavior"
 	"rrdps/internal/core/experiment"
+	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
+	"rrdps/internal/obs"
 	"rrdps/internal/world"
 )
 
@@ -112,6 +115,69 @@ func TestPauseCDFSeries(t *testing.T) {
 	}
 	if overall.At(35) != 1.0 {
 		t.Fatalf("CDF at max = %v", overall.At(35))
+	}
+}
+
+// TestPauseCDFExcludesCensored pins the censoring rule: windows opened at
+// a baseline observation carry a lower-bound duration and must not enter
+// the Fig. 5 duration statistics.
+func TestPauseCDFExcludesCensored(t *testing.T) {
+	res := experiment.DynamicsResult{
+		Days: 10,
+		PauseWindows: []behavior.PauseWindow{
+			{Apex: "a.com", Provider: dps.Cloudflare, StartDay: 1, EndDay: 4,
+				Resumed: true, ResumedAt: dps.Cloudflare},
+			{Apex: "b.com", Provider: dps.Cloudflare, StartDay: 0, EndDay: 9,
+				Resumed: true, ResumedAt: dps.Cloudflare, Censored: true},
+		},
+	}
+	overall, cf, _ := PauseCDF(res)
+	if overall.Len() != 1 || cf.Len() != 1 {
+		t.Fatalf("CDF lengths = %d overall / %d cloudflare, want 1/1 (censored window leaked in)",
+			overall.Len(), cf.Len())
+	}
+	if overall.At(3) != 1.0 {
+		t.Fatalf("CDF at 3 days = %v, want 1.0 — only the measured 3-day window should count", overall.At(3))
+	}
+}
+
+func TestObservabilityRendering(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("collect.domains").Add(600)
+	r.Counter("scan.queries").Add(1200)
+	r.VolatileCounter("dns.cache.stripe00.hit").Add(40)
+	r.VolatileCounter("dns.cache.stripe01.hit").Add(2)
+	r.VolatileCounter("dns.cache.hit").Add(42)
+	r.Gauge("campaign.weeks").Set(6)
+	r.Histogram("filter.hidden_per_apex").Observe(3)
+	sp := r.Tracer().StartSpan("collect", "day 0")
+	sp.SetItems(600)
+	sp.End()
+
+	text := Observability(r.Dump())
+	for _, frag := range []string{
+		"Observability summary", "Phase", "collect", "600",
+		"scan.queries", "campaign.weeks", "filter.hidden_per_apex",
+		"busiest stripe00 (40 lookups)",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Observability missing %q:\n%s", frag, text)
+		}
+	}
+	// Per-stripe counters are condensed, not listed.
+	if strings.Contains(text, "stripe01.hit") {
+		t.Errorf("Observability lists raw stripe counters:\n%s", text)
+	}
+
+	csv := ObservabilityCSV(r.Dump())
+	for _, frag := range []string{
+		"kind,name,value\n", "counter,collect.domains,600",
+		"gauge,campaign.weeks,6", "histogram_count,filter.hidden_per_apex,1",
+		"phase,collect,600",
+	} {
+		if !strings.Contains(csv, frag) {
+			t.Errorf("ObservabilityCSV missing %q:\n%s", frag, csv)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
+	"rrdps/internal/obs"
 )
 
 // DiscoverNameservers extracts, from collected snapshots, the hostnames of
@@ -64,6 +65,7 @@ type Scanner struct {
 	workers int
 	next    int
 	hedge   bool
+	obs     *obs.Registry
 }
 
 // NewScanner creates a scanner over the given vantage clients (the paper
@@ -85,6 +87,16 @@ func (s *Scanner) SetPolicy(p dnsresolver.Policy) {
 	s.hedge = p.Hedge
 	for _, v := range s.vantage {
 		v.SetPolicy(p)
+	}
+}
+
+// SetObserver installs a metrics registry on the scanner and every
+// vantage client (their dns.* counters fold into the same registry). Call
+// between scans; nil uninstalls.
+func (s *Scanner) SetObserver(r *obs.Registry) {
+	s.obs = r
+	for _, v := range s.vantage {
+		v.SetObserver(r)
 	}
 }
 
@@ -165,6 +177,9 @@ func (s *Scanner) ScanDirectHosts(nsAddrs []netip.Addr, hosts []dnsmsg.Name) map
 // map is assembled in index order afterwards, so the outcome is
 // value-identical to the serial scan.
 func (s *Scanner) scan(nsAddrs []netip.Addr, n int, item func(i int) (key, qname dnsmsg.Name)) map[dnsmsg.Name][]netip.Addr {
+	span := s.obs.Tracer().StartSpan("scan", fmt.Sprintf("%d queries", n))
+	span.SetItems(n)
+	defer span.End()
 	base := s.next
 	s.next += n
 
@@ -213,6 +228,13 @@ func (s *Scanner) scan(nsAddrs []netip.Addr, n int, item func(i int) (key, qname
 		key, _ := item(i)
 		out[key] = results[i]
 	}
+	// Counted from the assembled results on the caller's goroutine: scan
+	// answers are value-identical serial vs parallel, so these are
+	// deterministic counters.
+	if s.obs != nil {
+		s.obs.Counter("scan.queries").Add(uint64(n))
+		s.obs.Counter("scan.answered").Add(uint64(len(out)))
+	}
 	return out
 }
 
@@ -245,6 +267,7 @@ type CNAMELibrary struct {
 	matcher  *match.Matcher
 	workers  int
 	targets  map[dnsmsg.Name]map[dnsmsg.Name]bool // apex -> set of targets
+	obs      *obs.Registry
 }
 
 // NewCNAMELibrary creates a library for the provider's CNAMEs.
@@ -270,6 +293,10 @@ func (l *CNAMELibrary) SetWorkers(n int) {
 	}
 	l.workers = n
 }
+
+// SetObserver installs a metrics registry for the library's cname.*
+// counters and re-resolution spans; nil uninstalls.
+func (l *CNAMELibrary) SetObserver(r *obs.Registry) { l.obs = r }
 
 // AddSnapshot records every CNAME target in the snapshot attributed to the
 // library's provider.
@@ -320,6 +347,9 @@ func (l *CNAMELibrary) Apexes() []dnsmsg.Name {
 func (l *CNAMELibrary) ResolveAll(resolver *dnsresolver.Resolver) map[dnsmsg.Name][]netip.Addr {
 	resolver.Checkpoint()
 	apexes := l.Apexes()
+	span := l.obs.Tracer().StartSpan("cname", fmt.Sprintf("%d apexes", len(apexes)))
+	span.SetItems(len(apexes))
+	defer span.End()
 	results := make([][]netip.Addr, len(apexes))
 	one := func(i int) {
 		for _, target := range l.Targets(apexes[i]) {
@@ -344,6 +374,10 @@ func (l *CNAMELibrary) ResolveAll(resolver *dnsresolver.Resolver) map[dnsmsg.Nam
 		if len(results[i]) > 0 {
 			out[apex] = results[i]
 		}
+	}
+	if l.obs != nil {
+		l.obs.Counter("cname.apexes").Add(uint64(len(apexes)))
+		l.obs.Counter("cname.resolved").Add(uint64(len(out)))
 	}
 	return out
 }

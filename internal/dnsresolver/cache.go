@@ -3,9 +3,11 @@ package dnsresolver
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrdps/internal/dnsmsg"
+	"rrdps/internal/obs"
 )
 
 // cacheKey identifies a cached answer RRset.
@@ -67,6 +69,10 @@ func (s *cacheShard) resetLocked() {
 // stripe while distinct names spread across all of them.
 type cache struct {
 	shards [cacheShards]cacheShard
+
+	// obs is atomic so lookups never contend on a process-wide mutex —
+	// that would undo the sharding.
+	obs atomic.Pointer[cacheObs]
 }
 
 func newCache() *cache {
@@ -77,8 +83,9 @@ func newCache() *cache {
 	return c
 }
 
-// shardFor routes a name to its stripe by FNV-1a over the name's bytes.
-func (c *cache) shardFor(name dnsmsg.Name) *cacheShard {
+// shardIndex routes a name to its stripe index by FNV-1a over the name's
+// bytes.
+func shardIndex(name dnsmsg.Name) int {
 	const (
 		fnvOffset = 14695981039346656037
 		fnvPrime  = 1099511628211
@@ -88,7 +95,18 @@ func (c *cache) shardFor(name dnsmsg.Name) *cacheShard {
 		h ^= uint64(name[i])
 		h *= fnvPrime
 	}
-	return &c.shards[h%cacheShards]
+	return int(h % cacheShards)
+}
+
+// shardFor routes a name to its stripe.
+func (c *cache) shardFor(name dnsmsg.Name) *cacheShard {
+	return &c.shards[shardIndex(name)]
+}
+
+// setObserver installs a metrics registry for per-stripe hit/miss
+// accounting; nil uninstalls.
+func (c *cache) setObserver(r *obs.Registry) {
+	c.obs.Store(newCacheObs(r))
 }
 
 // Purge drops every cached entry. Shards are cleared one at a time: a put
@@ -132,7 +150,8 @@ func (c *cache) Len(now time.Time) int {
 }
 
 func (c *cache) getAnswer(now time.Time, key cacheKey) (answerEntry, bool) {
-	s := c.shardFor(key.name)
+	idx := shardIndex(key.name)
+	s := &c.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.answers[key]
@@ -140,8 +159,10 @@ func (c *cache) getAnswer(now time.Time, key cacheKey) (answerEntry, bool) {
 		if ok {
 			delete(s.answers, key)
 		}
+		c.obs.Load().observe(idx, false)
 		return answerEntry{}, false
 	}
+	c.obs.Load().observe(idx, true)
 	return e, true
 }
 
@@ -157,7 +178,8 @@ func (c *cache) putAnswer(now time.Time, key cacheKey, e answerEntry, ttl time.D
 }
 
 func (c *cache) getDelegation(now time.Time, zone dnsmsg.Name) ([]dnsmsg.Name, bool) {
-	s := c.shardFor(zone)
+	idx := shardIndex(zone)
+	s := &c.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.delegations[zone]
@@ -165,8 +187,10 @@ func (c *cache) getDelegation(now time.Time, zone dnsmsg.Name) ([]dnsmsg.Name, b
 		if ok {
 			delete(s.delegations, zone)
 		}
+		c.obs.Load().observe(idx, false)
 		return nil, false
 	}
+	c.obs.Load().observe(idx, true)
 	return append([]dnsmsg.Name(nil), e.hosts...), true
 }
 
@@ -188,21 +212,27 @@ func (c *cache) putDelegation(now time.Time, zone dnsmsg.Name, hosts []dnsmsg.Na
 // locks at most one stripe at a time.
 func (c *cache) closestDelegation(now time.Time, name dnsmsg.Name) (dnsmsg.Name, []dnsmsg.Name, bool) {
 	for zone := name; !zone.IsRoot(); zone = zone.Parent() {
-		s := c.shardFor(zone)
+		idx := shardIndex(zone)
+		s := &c.shards[idx]
 		s.mu.Lock()
 		e, ok := s.delegations[zone]
 		if ok && e.expires.After(now) {
 			hosts := append([]dnsmsg.Name(nil), e.hosts...)
 			s.mu.Unlock()
+			// The whole walk counts as one lookup, attributed to the
+			// stripe that satisfied it.
+			c.obs.Load().observe(idx, true)
 			return zone, hosts, true
 		}
 		s.mu.Unlock()
 	}
+	c.obs.Load().observe(shardIndex(name), false)
 	return "", nil, false
 }
 
 func (c *cache) getHostAddr(now time.Time, host dnsmsg.Name) (netip.Addr, bool) {
-	s := c.shardFor(host)
+	idx := shardIndex(host)
+	s := &c.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.hostAddrs[host]
@@ -210,8 +240,10 @@ func (c *cache) getHostAddr(now time.Time, host dnsmsg.Name) (netip.Addr, bool) 
 		if ok {
 			delete(s.hostAddrs, host)
 		}
+		c.obs.Load().observe(idx, false)
 		return netip.Addr{}, false
 	}
+	c.obs.Load().observe(idx, true)
 	return e.addr, true
 }
 

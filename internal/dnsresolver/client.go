@@ -31,6 +31,7 @@ type Client struct {
 
 	mu     sync.Mutex
 	policy Policy
+	obs    *clientObs
 
 	health *Health
 	stats  statsCounters
@@ -122,6 +123,7 @@ func (c *Client) ExchangeAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsms
 		return nil, fmt.Errorf("exchange %s %s: %w", name, qtype, ErrNoServers)
 	}
 	p := c.Policy()
+	o := c.observer()
 	cands := c.health.filterAvailable(servers)
 	budget := p.MaxAttempts
 	if len(cands) > budget {
@@ -129,52 +131,65 @@ func (c *Client) ExchangeAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsms
 	}
 
 	c.stats.queries.Add(1)
+	o.observeQuery()
 	var lastErr error
 	for attempt := 1; attempt <= budget; attempt++ {
 		server := cands[(attempt-1)%len(cands)]
 		if attempt > 1 {
+			backoff := p.Backoff(c.idSeed, server, name, qtype, attempt)
 			c.stats.retries.Add(1)
-			c.stats.backoffNanos.Add(int64(p.Backoff(c.idSeed, server, name, qtype, attempt)))
+			c.stats.backoffNanos.Add(int64(backoff))
+			o.observeRetry(backoff)
 		}
 		if server != cands[0] {
 			c.stats.hedges.Add(1)
+			o.observeHedge()
 		}
 
-		resp, err := c.attempt(server, name, qtype, attempt)
+		resp, err := c.attempt(o, server, name, qtype, attempt)
 		if err == nil {
 			c.health.ObserveSuccess(server)
 			if attempt > 1 {
 				c.stats.recovered.Add(1)
 			}
+			o.observeOutcome(attempt, attempt > 1)
 			return resp, nil
 		}
 		lastErr = err
 		switch {
 		case errors.Is(err, netsim.ErrTimeout):
 			c.stats.timeouts.Add(1)
+			o.observeTimeout()
 			c.health.ObserveTimeout(server)
 		case errors.Is(err, ErrCorruptReply):
 			c.stats.corrupt.Add(1)
+			o.observeCorrupt()
 		default:
 			// Fatal: validation failure (possible spoofing), unreachable
 			// endpoint, or a handler error. Retrying blindly is either
 			// unsafe or pointless.
-			if errors.Is(err, ErrBadResponse) {
+			bad := errors.Is(err, ErrBadResponse)
+			if bad {
 				c.stats.bad.Add(1)
 			}
 			c.stats.failed.Add(1)
+			o.observeFailed(bad)
+			o.observeOutcome(attempt, false)
 			return nil, err
 		}
 	}
 	c.stats.failed.Add(1)
+	o.observeFailed(false)
+	o.observeOutcome(budget, false)
 	return nil, lastErr
 }
 
 // attempt performs one wire exchange. The query ID is a hash of the query
 // identity and attempt number: deterministic across runs, distinct across
 // a query's attempts (each retry re-rolls the fabric's fault decisions).
-func (c *Client) attempt(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type, attempt int) (*dnsmsg.Message, error) {
+func (c *Client) attempt(o *clientObs, server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type, attempt int) (*dnsmsg.Message, error) {
 	c.stats.attempts.Add(1)
+	o.observeAttempt()
 	id := uint16(queryHash(c.idSeed, server, name, qtype, attempt))
 	query := dnsmsg.NewQuery(id, name, qtype)
 	wire := dnsmsg.MustEncode(query)

@@ -1,0 +1,90 @@
+package dnsresolver
+
+import (
+	"sync"
+	"testing"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/netsim"
+)
+
+// recordingHandler wraps a netsim.Handler and records the question names
+// it is asked, so tests can pin which names each server ever sees.
+type recordingHandler struct {
+	inner netsim.Handler
+
+	mu    sync.Mutex
+	names []dnsmsg.Name
+}
+
+func (h *recordingHandler) ServeNet(req netsim.Request) ([]byte, error) {
+	if q, err := dnsmsg.Decode(req.Payload); err == nil && len(q.Questions) > 0 {
+		h.mu.Lock()
+		h.names = append(h.names, q.Question().Name)
+		h.mu.Unlock()
+	}
+	return h.inner.ServeNet(req)
+}
+
+func (h *recordingHandler) sawOnly(t *testing.T, server string, allowed ...dnsmsg.Name) {
+	t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ok := make(map[dnsmsg.Name]bool, len(allowed))
+	for _, n := range allowed {
+		ok[n] = true
+	}
+	for _, n := range h.names {
+		if !ok[n] {
+			t.Errorf("%s server was asked about %s; a minimized descent only sends it %v",
+				server, n, allowed)
+		}
+	}
+}
+
+// TestQnameMinimizedDescent pins the RFC 7816 walk shape: the full qname
+// reaches only the name's own authoritative servers; parents see exactly
+// the one-label-deeper probe for their child zone. This is a correctness
+// property, not a nicety — delegation probes are shared across every name
+// under a zone, which is what keeps resolution outcomes (and the
+// deterministic obs counters built on them) independent of cache warmth
+// when the fabric injects content-hashed faults.
+func TestQnameMinimizedDescent(t *testing.T) {
+	f := newFixture(t)
+	root := &recordingHandler{inner: f.rootSrv}
+	tld := &recordingHandler{inner: f.tldSrv}
+	f.net.Register(netsim.Endpoint{Addr: f.rootAddr, Port: netsim.PortDNS}, netsim.RegionVirginia, root)
+	f.net.Register(netsim.Endpoint{Addr: f.tldAddr, Port: netsim.PortDNS}, netsim.RegionVirginia, tld)
+
+	res, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if addrs := res.Addrs(); len(addrs) != 1 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+
+	root.sawOnly(t, "root", "com")
+	tld.sawOnly(t, "tld", "example.com")
+}
+
+// TestQnameMinimizedProbeSharing: after any one name under a zone has
+// been resolved, resolving a sibling re-uses the cached delegations and
+// sends the parents nothing at all.
+func TestQnameMinimizedProbeSharing(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+		t.Fatalf("warm-up Resolve: %v", err)
+	}
+
+	root := &recordingHandler{inner: f.rootSrv}
+	tld := &recordingHandler{inner: f.tldSrv}
+	f.net.Register(netsim.Endpoint{Addr: f.rootAddr, Port: netsim.PortDNS}, netsim.RegionVirginia, root)
+	f.net.Register(netsim.Endpoint{Addr: f.tldAddr, Port: netsim.PortDNS}, netsim.RegionVirginia, tld)
+
+	if _, err := f.resolver.Resolve("example.com", dnsmsg.TypeNS); err != nil {
+		t.Fatalf("sibling Resolve: %v", err)
+	}
+	root.sawOnly(t, "root" /* nothing */)
+	tld.sawOnly(t, "tld" /* nothing */)
+}

@@ -229,47 +229,65 @@ func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Resu
 // CNAME chain seen in the final answer, the answers of qtype, the response
 // code, and the negative-caching TTL (from the authority SOA per RFC
 // 2308, falling back to the resolver default).
+//
+// The descent is qname-minimized (RFC 7816): each zone cut is discovered
+// with a probe for the child name's NS RRset at the parent's servers,
+// never by sending the full qname down the tree. Beyond the privacy
+// rationale of the RFC, this is what makes resolution outcomes
+// independent of cache warmth on a faulty fabric: the probe for a zone is
+// the same wire payload no matter which resolution triggers it, so a
+// cached delegation only ever skips queries that already succeeded, and a
+// cold walk re-issuing them gets the same content-hashed fault decisions.
+// With the old full-qname descent, a cold cache issued per-name ancestor
+// queries a warm cache never sent, and their independent fault fates made
+// serial and parallel campaigns diverge.
 func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chain, answers []dnsmsg.RR, rcode dnsmsg.RCode, negTTL time.Duration, err error) {
 	now := r.clock.Now()
 	servers := append([]netip.Addr(nil), r.roots...)
-	if _, hosts, ok := r.cache.closestDelegation(now, name); ok {
+	zone := dnsmsg.Name("") // the root
+	if cut, hosts, ok := r.cache.closestDelegation(now, name); ok {
 		if addrs := r.hostAddrs(hosts, depth); len(addrs) > 0 {
-			servers = addrs
+			zone, servers = cut, addrs
 		}
 	}
 
 	for hop := 0; hop < maxReferralHops; hop++ {
-		resp, ok := r.queryAny(servers, name, qtype)
+		if zone == name {
+			break
+		}
+		child := nextLabel(zone, name)
+		resp, ok := r.queryAny(servers, child, dnsmsg.TypeNS)
 		if !ok {
-			return nil, nil, 0, 0, fmt.Errorf("no server for %s answered: %w", name, ErrServFail)
+			return nil, nil, 0, 0, fmt.Errorf("no server for %s answered: %w", child, ErrServFail)
 		}
 		switch resp.Header.RCode {
 		case dnsmsg.RCodeNoError:
 			// fallthrough below
 		case dnsmsg.RCodeNXDomain:
-			return splitChain(resp.Answers, name, qtype), nil, dnsmsg.RCodeNXDomain, r.negativeTTL(resp), nil
+			// RFC 8020: NXDOMAIN at an ancestor denies the whole subtree.
+			return nil, nil, dnsmsg.RCodeNXDomain, r.negativeTTL(resp), nil
 		default:
-			return nil, nil, 0, 0, fmt.Errorf("server answered %s for %s: %w", resp.Header.RCode, name, ErrServFail)
+			return nil, nil, 0, 0, fmt.Errorf("server answered %s for %s: %w", resp.Header.RCode, child, ErrServFail)
 		}
 
-		if len(resp.Answers) > 0 {
-			chain = splitChain(resp.Answers, name, qtype)
-			answers = finalAnswers(resp.Answers, qtype)
-			return chain, answers, dnsmsg.RCodeNoError, r.negTTL, nil
-		}
-
-		// Referral?
+		// A cut at child arrives as a referral from the parent side, or as
+		// an authoritative NS answer when the queried server happens to
+		// host the child zone too (provider fleets serving both).
 		nsSet := refNS(resp)
 		if len(nsSet) == 0 {
-			// Authoritative NODATA.
-			return nil, nil, dnsmsg.RCodeNoError, r.negativeTTL(resp), nil
+			nsSet = finalAnswers(resp.Answers, dnsmsg.TypeNS)
 		}
-		zone := nsSet[0].Name
+		if len(nsSet) == 0 {
+			// NODATA or an alias at child: no cut there, the current
+			// servers stay authoritative one label deeper.
+			zone = child
+			continue
+		}
 		hosts := make([]dnsmsg.Name, 0, len(nsSet))
 		for _, rr := range nsSet {
 			hosts = append(hosts, rr.Data.(dnsmsg.NSData).Host)
 		}
-		r.cache.putDelegation(now, zone, hosts, minTTL(nsSet, r.negTTL))
+		r.cache.putDelegation(now, child, hosts, minTTL(nsSet, r.negTTL))
 		for _, rr := range resp.Additional {
 			if a, ok := rr.Data.(dnsmsg.AData); ok {
 				r.cache.putHostAddr(now, rr.Name, a.Addr, rr.TTL)
@@ -277,11 +295,46 @@ func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chai
 		}
 		next := r.hostAddrs(hosts, depth)
 		if len(next) == 0 {
-			return nil, nil, 0, 0, fmt.Errorf("no reachable nameserver for %s: %w", zone, ErrServFail)
+			return nil, nil, 0, 0, fmt.Errorf("no reachable nameserver for %s: %w", child, ErrServFail)
 		}
-		servers = next
+		zone, servers = child, next
 	}
-	return nil, nil, 0, 0, fmt.Errorf("referral limit for %s: %w", name, ErrServFail)
+	if zone != name {
+		return nil, nil, 0, 0, fmt.Errorf("referral limit for %s: %w", name, ErrServFail)
+	}
+
+	// The full question goes only to the name's own authoritative servers.
+	resp, ok := r.queryAny(servers, name, qtype)
+	if !ok {
+		return nil, nil, 0, 0, fmt.Errorf("no server for %s answered: %w", name, ErrServFail)
+	}
+	switch resp.Header.RCode {
+	case dnsmsg.RCodeNoError:
+		// fallthrough below
+	case dnsmsg.RCodeNXDomain:
+		return splitChain(resp.Answers, name, qtype), nil, dnsmsg.RCodeNXDomain, r.negativeTTL(resp), nil
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("server answered %s for %s: %w", resp.Header.RCode, name, ErrServFail)
+	}
+	if len(resp.Answers) > 0 {
+		return splitChain(resp.Answers, name, qtype), finalAnswers(resp.Answers, qtype), dnsmsg.RCodeNoError, r.negTTL, nil
+	}
+	// Authoritative NODATA.
+	return nil, nil, dnsmsg.RCodeNoError, r.negativeTTL(resp), nil
+}
+
+// nextLabel returns the ancestor of name exactly one label below zone —
+// the next probe target of the minimized descent. zone must be an
+// ancestor of name (the root is an ancestor of everything).
+func nextLabel(zone, name dnsmsg.Name) dnsmsg.Name {
+	n := name
+	for n.Parent() != zone {
+		n = n.Parent()
+		if n.IsRoot() {
+			panic(fmt.Sprintf("dnsresolver: %s is not an ancestor of %s", zone, name))
+		}
+	}
+	return n
 }
 
 // negativeTTL derives the RFC 2308 negative-caching TTL from a response's

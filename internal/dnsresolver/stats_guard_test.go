@@ -1,0 +1,65 @@
+package dnsresolver
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestQueryStatsAddSumsEveryField builds a QueryStats with a distinct
+// non-zero value in every field via reflection and checks Add doubles each
+// one. If a field is added to QueryStats without extending Add, the loop
+// sees an unchanged (or half-summed) field and fails, naming it — the
+// guard ISSUE 3 asks for, so partial aggregation can't silently undercount
+// parallel campaigns.
+func TestQueryStatsAddSumsEveryField(t *testing.T) {
+	var s QueryStats
+	v := reflect.ValueOf(&s).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		val := int64(i + 1) // distinct per field, so swapped sums would also fail
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(uint64(val))
+		case reflect.Int64: // time.Duration (Backoff)
+			f.SetInt(val)
+		default:
+			t.Fatalf("QueryStats.%s has unsupported kind %s; extend this test and Add",
+				typ.Field(i).Name, f.Kind())
+		}
+	}
+
+	sum := reflect.ValueOf(s.Add(s))
+	for i := 0; i < sum.NumField(); i++ {
+		name := typ.Field(i).Name
+		var got, want int64
+		switch f := sum.Field(i); f.Kind() {
+		case reflect.Uint64:
+			got, want = int64(f.Uint()), 2*int64(i+1)
+		case reflect.Int64:
+			got, want = f.Int(), 2*int64(i+1)
+		}
+		if got != want {
+			t.Errorf("Add does not sum QueryStats.%s: got %d, want %d — a field was added without extending Add",
+				name, got, want)
+		}
+	}
+}
+
+// TestQueryStatsAddMatchesManualSum cross-checks Add against two unequal
+// operands (not just the doubling case) including the Duration field.
+func TestQueryStatsAddMatchesManualSum(t *testing.T) {
+	a := QueryStats{Queries: 3, Attempts: 7, Retries: 4, Hedges: 2, Timeouts: 1,
+		CorruptReplies: 5, BadResponses: 6, Recovered: 8, Failed: 9,
+		SidelineEvents: 10, Backoff: 11 * time.Millisecond}
+	b := QueryStats{Queries: 30, Attempts: 70, Retries: 40, Hedges: 20, Timeouts: 10,
+		CorruptReplies: 50, BadResponses: 60, Recovered: 80, Failed: 90,
+		SidelineEvents: 100, Backoff: 110 * time.Millisecond}
+	want := QueryStats{Queries: 33, Attempts: 77, Retries: 44, Hedges: 22, Timeouts: 11,
+		CorruptReplies: 55, BadResponses: 66, Recovered: 88, Failed: 99,
+		SidelineEvents: 110, Backoff: 121 * time.Millisecond}
+	if got := a.Add(b); got != want {
+		t.Fatalf("Add mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one completed span in the tracer's ring. Wall-clock fields
+// describe the real run (the simulated clock does not advance mid-pass),
+// so they are operational telemetry, not part of the deterministic
+// snapshot the equality tests compare.
+type Event struct {
+	Seq     uint64        `json:"seq"`
+	Phase   string        `json:"phase"`
+	Label   string        `json:"label,omitempty"`
+	Items   int           `json:"items"`
+	Start   time.Time     `json:"start"`
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// PhaseSummary aggregates the ring's events per phase — the per-stage
+// throughput row of the observability report.
+type PhaseSummary struct {
+	Phase   string        `json:"phase"`
+	Spans   int           `json:"spans"`
+	Items   int           `json:"items"`
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// ItemsPerSec returns the phase's wall-clock throughput (0 when no time
+// was accumulated).
+func (p PhaseSummary) ItemsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Items) / p.Elapsed.Seconds()
+}
+
+// DefaultTracerCapacity bounds the event ring when NewTracer is given no
+// capacity: big enough for a multi-week campaign's pass spans, small
+// enough to forget about.
+const DefaultTracerCapacity = 8192
+
+// Tracer records spans into a fixed-size ring. When the ring wraps, the
+// oldest events are dropped (and counted); per-phase aggregates keep
+// accumulating regardless, so summaries stay exact even after a wrap.
+// Safe for concurrent use; nil-safe throughout.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event
+	seq     uint64 // events ever recorded
+	dropped uint64
+	phases  map[string]*PhaseSummary
+}
+
+// NewTracer creates a tracer with the given ring capacity (<= 0 uses
+// DefaultTracerCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{ring: make([]Event, 0, capacity), phases: map[string]*PhaseSummary{}}
+}
+
+// Span is an in-flight phase measurement; End records it.
+type Span struct {
+	t     *Tracer
+	phase string
+	label string
+	items int
+	start time.Time
+	done  bool
+}
+
+// StartSpan opens a span for phase with a free-form label. Returns nil on
+// a nil tracer (and nil spans no-op), so call sites never guard.
+func (t *Tracer) StartSpan(phase, label string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, phase: phase, label: label, start: time.Now()}
+}
+
+// SetItems sets the span's work-item count (domains scanned, candidates
+// verified...).
+func (s *Span) SetItems(n int) {
+	if s == nil {
+		return
+	}
+	s.items = n
+}
+
+// AddItems adds to the span's work-item count.
+func (s *Span) AddItems(n int) {
+	if s == nil {
+		return
+	}
+	s.items += n
+}
+
+// End completes the span and records it; second and later calls no-op.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.t.record(Event{
+		Phase:   s.phase,
+		Label:   s.label,
+		Items:   s.items,
+		Start:   s.start,
+		Elapsed: time.Since(s.start),
+	})
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev.Seq = t.seq
+	t.seq++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[ev.Seq%uint64(cap(t.ring))] = ev
+		t.dropped++
+	}
+	p, ok := t.phases[ev.Phase]
+	if !ok {
+		p = &PhaseSummary{Phase: ev.Phase}
+		t.phases[ev.Phase] = p
+	}
+	p.Spans++
+	p.Items += ev.Items
+	p.Elapsed += ev.Elapsed
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Event(nil), t.ring...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dropped returns how many events fell off the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// PhaseSummaries returns per-phase aggregates over every span ever
+// recorded (not just the retained ring), sorted by phase name.
+func (t *Tracer) PhaseSummaries() []PhaseSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseSummary, 0, len(t.phases))
+	for _, p := range t.phases {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}

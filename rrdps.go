@@ -15,6 +15,7 @@ import (
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
+	"rrdps/internal/obs"
 	"rrdps/internal/vectors"
 	"rrdps/internal/website"
 	"rrdps/internal/world"
@@ -207,6 +208,25 @@ type Region = netsim.Region
 var VantageRegions = netsim.VantageRegions
 
 // ---------------------------------------------------------------------------
+// Observability.
+
+// MetricsRegistry collects counters, gauges, histograms, and phase spans
+// from a campaign. Pass one via Dynamics.Obs / Residual.Obs; a nil
+// registry disables all instrumentation at zero cost.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's metrics, with
+// Diff/Merge/Deterministic for comparing runs.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricsDump bundles a snapshot with the tracer's phase summaries and
+// recent span events; it is what the -metrics flag serializes.
+type MetricsDump = obs.Dump
+
+// NewMetricsRegistry builds an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// ---------------------------------------------------------------------------
 // Reporting.
 
 // Report renderers for every table and figure (text and CSV forms).
@@ -230,4 +250,7 @@ var (
 	TableVCSV       = report.TableVCSV
 	TableVICSV      = report.TableVICSV
 	RenderPauseCDFs = report.PauseCDF
+
+	RenderObservability = report.Observability
+	ObservabilityCSV    = report.ObservabilityCSV
 )
