@@ -26,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 1815, "world seed")
 	boost := flag.Float64("churn-boost", 1, "multiply all behaviour hazards (small worlds need >1 for dense figures)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the daily collection loop (1 = serial; snapshots are identical either way)")
+	snapWindow := flag.Int("snap-window", 0, "snapshot-store retention in days: 0 = streaming default (2), <0 = keep every day replayable, >=2 = that many days")
 	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
 	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
 	metrics := flag.String("metrics", "", "emit an observability dump after the campaign: text or json")
@@ -59,7 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers, Policy: &policy, Obs: reg}.Run()
+	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers, Policy: &policy, Obs: reg, SnapWindow: *snapWindow}.Run()
 
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)

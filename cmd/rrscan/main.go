@@ -30,6 +30,7 @@ func main() {
 	warmup := flag.Int("warmup", 28, "days of world history to simulate before the first scan")
 	incStart := flag.Int("incapsula-start", 0, "first week (1-based, inclusive) the Incapsula CNAME re-resolution runs; 0 or 1 = every week (the paper covers its last three)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the collection/scan/filter loops (1 = serial; results are identical either way)")
+	snapWindow := flag.Int("snap-window", 0, "snapshot-store retention in collection rounds: 0 = streaming default (1), <0 = keep every round replayable, >=1 = that many rounds")
 	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
 	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
 	metrics := flag.String("metrics", "", "emit an observability dump after the campaign: text or json")
@@ -70,6 +71,7 @@ func main() {
 		Workers:            *workers,
 		Policy:             &policy,
 		Obs:                reg,
+		SnapWindow:         *snapWindow,
 	}.Run()
 
 	if err := stopProfiles(); err != nil {

@@ -14,8 +14,10 @@
 //     composition root that wires it all (internal/world).
 //
 //   - The paper's measurement system: daily DNS record collection
-//     (internal/core/collect), A/CNAME/NS matching (internal/core/match),
-//     Table III status classification (internal/core/status), the Table IV
+//     (internal/core/collect), the append-only delta-encoded snapshot
+//     store with name interning and cursor replay (internal/snapstore),
+//     A/CNAME/NS matching (internal/core/match), Table III status
+//     classification (internal/core/status), the Table IV
 //     behaviour FSM (internal/core/behavior), HTML verification
 //     (internal/core/htmlverify), the residual-resolution scanners
 //     (internal/core/rrscan), the Fig. 8 filtering pipeline
@@ -24,6 +26,15 @@
 //     (internal/core/experiment), and table/figure rendering
 //     (internal/core/report). internal/attack adds the Fig. 1 DDoS
 //     bypass simulation.
+//
+// Snapshot flow: the campaign runners stream each day's collection
+// straight into a SnapshotStore (collector → store → streaming
+// classifier/differ → campaign aggregation) and bound retention with
+// SnapWindow, so memory stays flat over campaign length. The map-based
+// Snapshot remains as a thin legacy adapter — see the deprecation note on
+// the Snapshot alias in rrdps.go — and the Legacy flags on Dynamics and
+// Residual keep the old pipeline runnable until downstream callers have
+// migrated.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -81,7 +81,8 @@ type PauseWindow struct {
 // Days returns the window length in days.
 func (w PauseWindow) Days() int { return w.EndDay - w.StartDay }
 
-// Tracker consumes daily classification maps and emits detections.
+// Tracker consumes daily classifications — as whole maps (Observe) or as
+// a stream (BeginDay/ObserveOne/EndDay) — and emits detections.
 type Tracker struct {
 	prev        map[dnsmsg.Name]status.Adoption
 	excluded    map[dnsmsg.Name]bool
@@ -89,6 +90,11 @@ type Tracker struct {
 	closed      []PauseWindow
 	detections  []Detection
 	observedDay int
+
+	// Streaming-day state, valid between BeginDay and EndDay.
+	dayOpen  bool
+	dayFirst bool
+	dayOut   []Detection
 }
 
 // NewTracker creates a tracker. Domains in excluded — e.g. multi-CDN
@@ -110,35 +116,71 @@ func NewTracker(excluded []dnsmsg.Name) *Tracker {
 // Observe ingests one day's classifications and returns the behaviours
 // detected against the previous day. Domains absent from cur (e.g. their
 // resolution failed) carry their previous state forward — a transient
-// SERVFAIL must not read as a LEAVE.
+// SERVFAIL must not read as a LEAVE. It is the map-based form of the
+// streaming BeginDay/ObserveOne/EndDay triple and produces identical
+// state and detections.
 func (t *Tracker) Observe(day int, cur map[dnsmsg.Name]status.Adoption) []Detection {
-	if day <= t.observedDay {
-		panic(fmt.Sprintf("behavior: Observe(%d) after day %d", day, t.observedDay))
-	}
-	first := t.observedDay < 0
-	t.observedDay = day
-
-	var out []Detection
+	t.BeginDay(day)
 	for apex, adoption := range cur {
-		if t.excluded[apex] {
-			continue
-		}
-		prev, seen := t.prev[apex]
-		t.prev[apex] = adoption
-		if first || !seen {
-			// Baseline observation — the campaign's first day, or a domain
-			// appearing mid-campaign: record state, detect nothing; but a
-			// site first seen OFF has an open exposure window. Its true
-			// start is unobserved (the site may have been OFF for weeks
-			// already), so the window is censored and excluded from
-			// duration statistics.
-			if adoption.Status == status.StatusOff {
-				t.openPauses[apex] = PauseWindow{Apex: apex, Provider: adoption.Provider, StartDay: day, Censored: true}
-			}
-			continue
-		}
-		out = append(out, t.transition(day, apex, prev, adoption)...)
+		t.ObserveOne(apex, adoption)
 	}
+	return t.EndDay()
+}
+
+// BeginDay opens a streaming observation day. Feed every classified
+// domain through ObserveOne, then close with EndDay. Days must be
+// observed in strictly increasing order.
+func (t *Tracker) BeginDay(day int) {
+	if t.dayOpen {
+		panic(fmt.Sprintf("behavior: BeginDay(%d) with day %d still open", day, t.observedDay))
+	}
+	if day <= t.observedDay {
+		panic(fmt.Sprintf("behavior: BeginDay(%d) after day %d", day, t.observedDay))
+	}
+	t.dayOpen = true
+	t.dayFirst = t.observedDay < 0
+	t.observedDay = day
+	t.dayOut = nil
+}
+
+// ObserveOne ingests one domain's classification for the open day,
+// diffing it against the domain's previous state as it arrives — the
+// streaming half of the Fig. 4 FSM. Order does not matter: the day's
+// detections are canonically sorted at EndDay.
+func (t *Tracker) ObserveOne(apex dnsmsg.Name, adoption status.Adoption) {
+	if !t.dayOpen {
+		panic("behavior: ObserveOne outside BeginDay/EndDay")
+	}
+	if t.excluded[apex] {
+		return
+	}
+	day := t.observedDay
+	prev, seen := t.prev[apex]
+	t.prev[apex] = adoption
+	if t.dayFirst || !seen {
+		// Baseline observation — the campaign's first day, or a domain
+		// appearing mid-campaign: record state, detect nothing; but a
+		// site first seen OFF has an open exposure window. Its true
+		// start is unobserved (the site may have been OFF for weeks
+		// already), so the window is censored and excluded from
+		// duration statistics.
+		if adoption.Status == status.StatusOff {
+			t.openPauses[apex] = PauseWindow{Apex: apex, Provider: adoption.Provider, StartDay: day, Censored: true}
+		}
+		return
+	}
+	t.dayOut = append(t.dayOut, t.transition(day, apex, prev, adoption)...)
+}
+
+// EndDay closes the open day and returns its detections, sorted by
+// (apex, kind) — the same canonical order Observe returns.
+func (t *Tracker) EndDay() []Detection {
+	if !t.dayOpen {
+		panic("behavior: EndDay without BeginDay")
+	}
+	t.dayOpen = false
+	out := t.dayOut
+	t.dayOut = nil
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Apex != out[j].Apex {
 			return out[i].Apex < out[j].Apex

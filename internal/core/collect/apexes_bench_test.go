@@ -1,0 +1,57 @@
+package collect
+
+import (
+	"fmt"
+	"testing"
+
+	"rrdps/internal/alexa"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/netsim"
+)
+
+// TestApexesComputedOnce pins the satellite fix: repeated Apexes calls
+// serve the same cached slice instead of re-sorting the population, and
+// collector-built snapshots share the collector's precomputed ranking.
+func TestApexesComputedOnce(t *testing.T) {
+	w := buildWorld(t, 60)
+	collector := New(w.NewResolver(netsim.RegionOregon), domainList(w))
+	snap := collector.Collect(0)
+
+	first := snap.Apexes()
+	second := snap.Apexes()
+	if len(first) == 0 || &first[0] != &second[0] {
+		t.Fatal("Apexes re-computed the list on the second call")
+	}
+
+	// A literal snapshot (no collector) lazily computes and then caches.
+	lit := Snapshot{Day: 1, Records: snap.Records}
+	a, b := lit.Apexes(), lit.Apexes()
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("literal snapshot re-computed Apexes")
+	}
+
+	// Two snapshots from one collector share one ranking allocation.
+	snap2 := collector.Collect(1)
+	if o1, o2 := snap.Apexes(), snap2.Apexes(); &o1[0] != &o2[0] {
+		t.Fatal("collector snapshots do not share the precomputed ranking")
+	}
+}
+
+// BenchmarkSnapshotApexes is the benchmark guard for the Apexes fix: it
+// must stay O(1) per call (no per-call sort, no per-call allocation).
+func BenchmarkSnapshotApexes(b *testing.B) {
+	const n = 2000
+	records := make(map[dnsmsg.Name]Record, n)
+	for i := 0; i < n; i++ {
+		apex := dnsmsg.MustParseName(fmt.Sprintf("site%04d.com", i))
+		records[apex] = Record{Domain: alexa.Domain{Rank: i + 1, Apex: apex}}
+	}
+	snap := Snapshot{Day: 0, Records: records}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(snap.Apexes()) != n {
+			b.Fatal("wrong apex count")
+		}
+	}
+}

@@ -39,27 +39,48 @@ type Record struct {
 }
 
 // Snapshot is one day's collected records.
+//
+// Deprecated-by-design for retention: Snapshot is the legacy map-based
+// view, kept as a thin adapter for existing consumers and tests. Code
+// that keeps history should append days into a snapstore.Store and
+// replay them through its cursors instead of holding Snapshots alive.
 type Snapshot struct {
 	Day     int
 	Records map[dnsmsg.Name]Record // keyed by apex
+
+	// apexes caches the rank-ordered apex list; snapshots from a
+	// Collector share the collector's precomputed list, literals compute
+	// it on first use.
+	apexes []dnsmsg.Name
 }
 
-// Apexes returns the snapshot's domains in rank order.
-func (s Snapshot) Apexes() []dnsmsg.Name {
-	out := make([]dnsmsg.Name, 0, len(s.Records))
-	for apex := range s.Records {
-		out = append(out, apex)
+// Apexes returns the snapshot's domains in rank order. The list is
+// computed at most once per snapshot (collector-built snapshots inherit
+// the collector's precomputed ranking) and the returned slice is shared:
+// callers must not mutate it.
+func (s *Snapshot) Apexes() []dnsmsg.Name {
+	if s.apexes == nil && len(s.Records) > 0 {
+		out := make([]dnsmsg.Name, 0, len(s.Records))
+		for apex := range s.Records {
+			out = append(out, apex)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			ri, rj := s.Records[out[i]].Domain.Rank, s.Records[out[j]].Domain.Rank
+			if ri != rj {
+				return ri < rj
+			}
+			return out[i] < out[j]
+		})
+		s.apexes = out
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return s.Records[out[i]].Domain.Rank < s.Records[out[j]].Domain.Rank
-	})
-	return out
+	return s.apexes
 }
 
 // Collector drives daily collection runs.
 type Collector struct {
 	resolver *dnsresolver.Resolver
 	domains  []alexa.Domain
+	ranked   []dnsmsg.Name // apexes in rank order, computed once
 	workers  int
 	obs      *obs.Registry
 }
@@ -69,7 +90,22 @@ func New(resolver *dnsresolver.Resolver, domains []alexa.Domain) *Collector {
 	if resolver == nil {
 		panic("collect: resolver is required")
 	}
-	return &Collector{resolver: resolver, domains: append([]alexa.Domain(nil), domains...), workers: 1}
+	c := &Collector{resolver: resolver, domains: append([]alexa.Domain(nil), domains...), workers: 1}
+	// The population is fixed for the collector's lifetime, so the
+	// rank-ordered apex list every snapshot serves from Apexes is
+	// computed exactly once here, not once per snapshot per call.
+	byRank := append([]alexa.Domain(nil), c.domains...)
+	sort.Slice(byRank, func(i, j int) bool {
+		if byRank[i].Rank != byRank[j].Rank {
+			return byRank[i].Rank < byRank[j].Rank
+		}
+		return byRank[i].Apex < byRank[j].Apex
+	})
+	c.ranked = make([]dnsmsg.Name, len(byRank))
+	for i, d := range byRank {
+		c.ranked[i] = d.Apex
+	}
+	return c
 }
 
 // SetWorkers sets the collection parallelism (default 1). The resolver and
@@ -112,24 +148,45 @@ func (c *Collector) SetObserver(r *obs.Registry) {
 // hit/miss interleaving cannot change any record's value, and (c) the
 // snapshot map is keyed by apex, so assembly order is irrelevant.
 func (c *Collector) Collect(day int) Snapshot {
+	records := c.collectAll(day)
+	snap := Snapshot{Day: day, Records: make(map[dnsmsg.Name]Record, len(c.domains)), apexes: c.ranked}
+	for i, d := range c.domains {
+		snap.Records[d.Apex] = records[i]
+	}
+	return snap
+}
+
+// CollectStream is Collect without the map: it runs the same daily pass
+// (same cache purge, same health checkpoint, same queries in the same
+// order) and emits each domain's record, in domain-list order, to emit —
+// typically a snapstore.DayWriter's Put. Nothing per-day is retained by
+// the collector, so memory stays flat regardless of campaign length.
+func (c *Collector) CollectStream(day int, emit func(Record)) {
+	for _, rec := range c.collectAll(day) {
+		emit(rec)
+	}
+}
+
+// collectAll runs one daily pass and returns the records in domain-list
+// order (the i-th record belongs to c.domains[i]).
+func (c *Collector) collectAll(day int) []Record {
 	span := c.obs.Tracer().StartSpan("collect", fmt.Sprintf("day %d", day))
 	defer span.End()
 	c.resolver.Checkpoint()
 	c.resolver.PurgeCache()
-	snap := Snapshot{Day: day, Records: make(map[dnsmsg.Name]Record, len(c.domains))}
+	records := make([]Record, len(c.domains))
 	if c.workers <= 1 || len(c.domains) <= 1 {
-		for _, d := range c.domains {
-			snap.Records[d.Apex] = c.collectOne(d)
+		for i, d := range c.domains {
+			records[i] = c.collectOne(d)
 		}
-		c.countSnapshot(span, snap)
-		return snap
+		c.countRecords(span, records)
+		return records
 	}
 
 	workers := c.workers
 	if workers > len(c.domains) {
 		workers = len(c.domains)
 	}
-	records := make([]Record, len(c.domains))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -141,23 +198,20 @@ func (c *Collector) Collect(day int) Snapshot {
 		}(w)
 	}
 	wg.Wait()
-	for i, d := range c.domains {
-		snap.Records[d.Apex] = records[i]
-	}
-	c.countSnapshot(span, snap)
-	return snap
+	c.countRecords(span, records)
+	return records
 }
 
-// countSnapshot accounts a completed snapshot. It runs on the caller's
+// countRecords accounts a completed pass. It runs on the caller's
 // goroutine over the assembled (worker-order-independent) records, so the
 // collect.* counters are deterministic even when collection ran parallel.
-func (c *Collector) countSnapshot(span *obs.Span, snap Snapshot) {
-	span.SetItems(len(snap.Records))
+func (c *Collector) countRecords(span *obs.Span, records []Record) {
+	span.SetItems(len(records))
 	if c.obs == nil {
 		return
 	}
 	var resolveOK, nsOK uint64
-	for _, rec := range snap.Records {
+	for _, rec := range records {
 		if rec.ResolveOK {
 			resolveOK++
 		}
@@ -166,7 +220,7 @@ func (c *Collector) countSnapshot(span *obs.Span, snap Snapshot) {
 		}
 	}
 	c.obs.Counter("collect.snapshots").Inc()
-	c.obs.Counter("collect.domains").Add(uint64(len(snap.Records)))
+	c.obs.Counter("collect.domains").Add(uint64(len(records)))
 	c.obs.Counter("collect.resolve_ok").Add(resolveOK)
 	c.obs.Counter("collect.ns_ok").Add(nsOK)
 }

@@ -21,6 +21,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/snapstore"
 	"rrdps/internal/world"
 )
 
@@ -186,6 +187,20 @@ type Dynamics struct {
 	// stage counters from the collector and verifier, dns.* resilience
 	// counters from the resolver, and per-day spans.
 	Obs *obs.Registry
+	// SnapWindow bounds the streaming pipeline's snapshot retention, in
+	// days. Zero keeps the default of 2 — the current day plus the previous
+	// day that DiffPairs and the Table V verification look back to — so
+	// retained memory stays flat no matter how long the campaign runs.
+	// Values below 2 are raised to 2; negative retains every day (useful
+	// when the caller wants to replay the campaign afterwards). Ignored by
+	// Legacy.
+	SnapWindow int
+	// Legacy runs the original map-based pipeline that materializes each
+	// day as a full collect.Snapshot. It exists so TestStreamingMatchesLegacy
+	// can pin the streaming pipeline's outputs against it; new code should
+	// leave it false, and the flag goes away once the legacy adapter is
+	// retired.
+	Legacy bool
 }
 
 // _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
@@ -208,11 +223,53 @@ func DetectMultiCDN(snap collect.Snapshot) []dnsmsg.Name {
 	return out
 }
 
+// DetectMultiCDNStream is DetectMultiCDN over a record stream (a snapstore
+// cursor): same substring matching, one record in memory at a time.
+func DetectMultiCDNStream(src status.RecordSource) []dnsmsg.Name {
+	var out []dnsmsg.Name
+	for src.Next() {
+		for _, target := range src.Record().CNAMEs {
+			for _, sub := range _multiCDNSubstrings {
+				if target.ContainsSubstring(sub) {
+					out = append(out, src.Apex())
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Run executes the campaign. The world's clock advances Days days.
+//
+// By default the campaign runs the streaming snapstore pipeline: every day
+// is collected straight into a delta-encoded snapstore.Store and consumed
+// through a DiffPairs cursor, so retained memory is bounded by SnapWindow
+// instead of growing with the campaign. Legacy selects the original
+// map-based pipeline; both produce value-identical results, pinned by
+// TestStreamingMatchesLegacy.
 func (d Dynamics) Run() DynamicsResult {
 	if d.World == nil || d.Days <= 0 {
 		panic("experiment: Dynamics requires World and positive Days")
 	}
+	e := d.setup()
+	if d.Legacy {
+		return d.runLegacy(e)
+	}
+	return d.runStreaming(e)
+}
+
+// dynamicsEnv is the wiring shared by the legacy and streaming pipelines.
+type dynamicsEnv struct {
+	w          *world.World
+	resolver   *dnsresolver.Resolver
+	domains    []alexa.Domain
+	collector  *collect.Collector
+	classifier *status.Classifier
+	verifier   *htmlverify.Verifier
+	topCut     int
+}
+
+func (d Dynamics) setup() *dynamicsEnv {
 	vantage := d.Vantage
 	if vantage == 0 {
 		vantage = netsim.RegionOregon
@@ -233,8 +290,6 @@ func (d Dynamics) Run() DynamicsResult {
 	}
 	resolver.SetPolicy(policy)
 	matcher := match.New(w.Registry, dps.Profiles())
-	classifier := status.New(matcher)
-	var tracker *behavior.Tracker // built after the first snapshot (multi-CDN detection)
 	verifier := htmlverify.New(w.NewHTTPClient(vantage))
 	if d.Obs != nil {
 		collector.SetObserver(d.Obs)
@@ -246,15 +301,49 @@ func (d Dynamics) Run() DynamicsResult {
 	if topCut < 1 {
 		topCut = 1
 	}
+	return &dynamicsEnv{
+		w:          w,
+		resolver:   resolver,
+		domains:    domains,
+		collector:  collector,
+		classifier: status.New(matcher),
+		verifier:   verifier,
+		topCut:     topCut,
+	}
+}
 
+// advance moves the world to the next snapshot, with the optional long
+// (2-day) interval jitter.
+func (d Dynamics) advance(w *world.World) {
+	w.AdvanceDay()
+	if d.LongIntervalProb > 0 && d.Rand.Float64() < d.LongIntervalProb {
+		// A long (2-day) gap before the next snapshot.
+		w.AdvanceDay()
+	}
+}
+
+// finish assembles the tracker's and resolver's campaign-end accounting.
+func (d Dynamics) finish(res *DynamicsResult, e *dynamicsEnv, tracker *behavior.Tracker) {
+	res.Detections = tracker.Detections()
+	res.PauseWindows = tracker.PauseWindows()
+	res.CountsByDay = tracker.CountsByDay()
+	res.Stats = e.resolver.Stats()
+	res.Sidelined = e.resolver.Health().Sidelined()
+}
+
+// runLegacy is the original map-based pipeline: each day materializes a
+// full collect.Snapshot, and the previous day's map is retained for the
+// Table V lookups.
+func (d Dynamics) runLegacy(e *dynamicsEnv) DynamicsResult {
 	res := DynamicsResult{Days: d.Days, Unchanged: make(map[dps.ProviderKey]*UnchangedRow)}
+	var tracker *behavior.Tracker // built after the first snapshot (multi-CDN detection)
 	var prevSnap collect.Snapshot
 
 	for day := 0; day < d.Days; day++ {
 		daySpan := d.Obs.Tracer().StartSpan("day", fmt.Sprintf("day %d", day))
-		daySpan.SetItems(len(domains))
-		snap := collector.Collect(day)
-		classified := classifier.ClassifySnapshot(snap)
+		daySpan.SetItems(len(e.domains))
+		snap := e.collector.Collect(day)
+		classified := e.classifier.ClassifySnapshot(snap)
 
 		if tracker == nil {
 			excluded := append([]dnsmsg.Name(nil), d.Excluded...)
@@ -263,7 +352,7 @@ func (d Dynamics) Run() DynamicsResult {
 			}
 			tracker = behavior.NewTracker(excluded)
 		}
-		res.Breakdowns = append(res.Breakdowns, breakdown(day, snap, classified, topCut))
+		res.Breakdowns = append(res.Breakdowns, breakdown(day, snap, classified, e.topCut))
 
 		detections := tracker.Observe(day, validAdoptions(snap, classified))
 		// Table V: verify origin-IP hygiene for JOIN and RESUME (§IV-C.3
@@ -272,23 +361,93 @@ func (d Dynamics) Run() DynamicsResult {
 			if det.Kind != behavior.Join && det.Kind != behavior.Resume {
 				continue
 			}
-			d.verifyUnchanged(&res, verifier, prevSnap, snap, det)
+			d.verifyUnchanged(&res, e.verifier, prevSnap, snap, det)
 		}
 
 		prevSnap = snap
-		w.AdvanceDay()
-		if d.LongIntervalProb > 0 && d.Rand.Float64() < d.LongIntervalProb {
-			// A long (2-day) gap before the next snapshot.
-			w.AdvanceDay()
-		}
+		d.advance(e.w)
 		daySpan.End()
 	}
 
-	res.Detections = tracker.Detections()
-	res.PauseWindows = tracker.PauseWindows()
-	res.CountsByDay = tracker.CountsByDay()
-	res.Stats = resolver.Stats()
-	res.Sidelined = resolver.Health().Sidelined()
+	d.finish(&res, e, tracker)
+	return res
+}
+
+// window resolves SnapWindow for the streaming pipeline.
+func (d Dynamics) window() int {
+	switch {
+	case d.SnapWindow < 0:
+		return 0 // unbounded: keep every day replayable
+	case d.SnapWindow < 2:
+		return 2 // minimum: DiffPairs and Table V read one day back
+	default:
+		return d.SnapWindow
+	}
+}
+
+// runStreaming is the one-pass snapstore pipeline: collection streams into
+// the delta store, and a single DiffPairs cursor per day feeds the
+// breakdown, the classifier, and the behaviour FSM without materializing
+// either day as a map. Classification of unchanged pairs is served from a
+// per-apex cache — Classify is a pure function of the record, so the cache
+// is value-identical to re-classifying.
+func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
+	res := DynamicsResult{Days: d.Days, Unchanged: make(map[dps.ProviderKey]*UnchangedRow)}
+	store := snapstore.New()
+	store.SetWindow(d.window())
+	var tracker *behavior.Tracker // built after the first day (multi-CDN detection)
+	adoptions := make(map[dnsmsg.Name]status.Adoption, len(e.domains))
+
+	for day := 0; day < d.Days; day++ {
+		daySpan := d.Obs.Tracer().StartSpan("day", fmt.Sprintf("day %d", day))
+		daySpan.SetItems(len(e.domains))
+		dw := store.BeginDay(day)
+		e.collector.CollectStream(day, dw.Put)
+		dw.Seal()
+
+		if tracker == nil {
+			excluded := append([]dnsmsg.Name(nil), d.Excluded...)
+			if !d.KeepMultiCDN {
+				excluded = append(excluded, DetectMultiCDNStream(store.Cursor(day))...)
+			}
+			tracker = behavior.NewTracker(excluded)
+		}
+
+		b := AdoptionBreakdown{Day: day, ByProvider: make(map[dps.ProviderKey]int)}
+		tracker.BeginDay(day)
+		for pairs := store.DiffPairs(day); pairs.Next(); {
+			p := pairs.Pair()
+			if !p.CurOK {
+				delete(adoptions, p.Apex)
+				continue
+			}
+			adoption, cached := adoptions[p.Apex]
+			if !cached || !p.Unchanged() {
+				adoption = e.classifier.Classify(p.Cur)
+				adoptions[p.Apex] = adoption
+			}
+			b.accum(p.Cur, adoption, e.topCut)
+			if p.Cur.ResolveOK && p.Cur.NSOK && !adoption.SharedIPSuspect {
+				tracker.ObserveOne(p.Apex, adoption)
+			}
+		}
+		detections := tracker.EndDay()
+		res.Breakdowns = append(res.Breakdowns, b)
+
+		// Table V, served from the store's window instead of a retained
+		// previous snapshot.
+		for _, det := range detections {
+			if det.Kind != behavior.Join && det.Kind != behavior.Resume {
+				continue
+			}
+			d.verifyUnchangedAt(&res, e.verifier, store, day, det)
+		}
+
+		d.advance(e.w)
+		daySpan.End()
+	}
+
+	d.finish(&res, e, tracker)
 	return res
 }
 
@@ -314,29 +473,35 @@ func validAdoptions(snap collect.Snapshot, classified map[dnsmsg.Name]status.Ado
 func breakdown(day int, snap collect.Snapshot, classified map[dnsmsg.Name]status.Adoption, topCut int) AdoptionBreakdown {
 	b := AdoptionBreakdown{Day: day, ByProvider: make(map[dps.ProviderKey]int)}
 	for apex, adoption := range classified {
-		rec := snap.Records[apex]
-		b.Population++
-		if rec.Domain.Rank <= topCut {
-			b.TopPopulation++
-		}
-		if adoption.Status == status.StatusNone || adoption.SharedIPSuspect {
-			continue
-		}
-		b.Total++
-		b.ByProvider[adoption.Provider]++
-		if rec.Domain.Rank <= topCut {
-			b.TopAdopters++
-		}
-		if adoption.Provider == dps.Cloudflare {
-			switch adoption.Rerouting {
-			case dps.ReroutingNS:
-				b.CloudflareNS++
-			case dps.ReroutingCNAME:
-				b.CloudflareCNAME++
-			}
-		}
+		b.accum(snap.Records[apex], adoption, topCut)
 	}
 	return b
+}
+
+// accum folds one classified record into the Fig. 2 counters. Both
+// pipelines share it — every field is an order-independent sum, which is
+// what keeps the map-based and streaming breakdowns value-identical.
+func (b *AdoptionBreakdown) accum(rec collect.Record, adoption status.Adoption, topCut int) {
+	b.Population++
+	if rec.Domain.Rank <= topCut {
+		b.TopPopulation++
+	}
+	if adoption.Status == status.StatusNone || adoption.SharedIPSuspect {
+		return
+	}
+	b.Total++
+	b.ByProvider[adoption.Provider]++
+	if rec.Domain.Rank <= topCut {
+		b.TopAdopters++
+	}
+	if adoption.Provider == dps.Cloudflare {
+		switch adoption.Rerouting {
+		case dps.ReroutingNS:
+			b.CloudflareNS++
+		case dps.ReroutingCNAME:
+			b.CloudflareCNAME++
+		}
+	}
 }
 
 // verifyUnchanged implements the §IV-C.3 three-step IP1/IP2 procedure.
@@ -361,6 +526,41 @@ func (d Dynamics) verifyUnchanged(res *DynamicsResult, verifier *htmlverify.Veri
 
 	// IP2: the addresses answered after the action — DPS edges.
 	curRec, ok := cur.Records[det.Apex]
+	if !ok || len(curRec.Addrs) == 0 {
+		return
+	}
+	ip2 := curRec.Addrs[0]
+
+	row.JoinResume++
+	if verifySame(verifier, det.Apex, ip2, ip1) {
+		row.IPUnchanged++
+	}
+}
+
+// verifyUnchangedAt is verifyUnchanged against the snapstore: the same
+// three-step procedure — including creating the provider's Table V row
+// before the record lookups can bail — with RecordAt point lookups into
+// the retention window replacing the retained prev/cur maps.
+func (d Dynamics) verifyUnchangedAt(res *DynamicsResult, verifier *htmlverify.Verifier, store *snapstore.Store, day int, det behavior.Detection) {
+	if day == 0 {
+		return // no previous day yet, as with a nil prev snapshot
+	}
+	provider := det.To
+	row := res.Unchanged[provider]
+	if row == nil {
+		row = &UnchangedRow{Provider: provider}
+		res.Unchanged[provider] = row
+	}
+
+	// IP1: the origin address observed before the action.
+	prevRec, ok := store.RecordAt(det.Apex, day-1)
+	if !ok || len(prevRec.Addrs) == 0 {
+		return
+	}
+	ip1 := prevRec.Addrs[0]
+
+	// IP2: the addresses answered after the action — DPS edges.
+	curRec, ok := store.RecordAt(det.Apex, day)
 	if !ok || len(curRec.Addrs) == 0 {
 		return
 	}

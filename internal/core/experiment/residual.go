@@ -17,6 +17,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/snapstore"
 	"rrdps/internal/world"
 )
 
@@ -88,13 +89,51 @@ type Residual struct {
 	// stage counters from every component, dns.* resilience counters from
 	// the shared resolver and each vantage client, and per-week spans.
 	Obs *obs.Registry
+	// SnapWindow bounds the streaming pipeline's snapshot retention, in
+	// days (really: in collection rounds — the campaign collects once per
+	// warm-up step and once per week). Zero keeps the default of 1: only
+	// the current round's snapshot is ever read, so nothing older needs to
+	// stay replayable. Negative retains every round. Ignored by Legacy.
+	SnapWindow int
+	// Legacy runs the original map-based pipeline that materializes each
+	// collection round as a full collect.Snapshot. It exists so
+	// TestStreamingMatchesLegacy can pin the streaming pipeline's outputs
+	// against it; new code should leave it false.
+	Legacy bool
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
+//
+// By default the campaign runs the streaming snapstore pipeline: each
+// collection round streams into a delta-encoded snapstore.Store and a
+// single cursor pass feeds every snapshot consumer (the Incapsula CNAME
+// library and the week's nameserver discovery). Legacy selects the
+// original map-based pipeline; both produce value-identical results,
+// pinned by TestStreamingMatchesLegacy.
 func (r Residual) Run() ResidualResult {
 	if r.World == nil || r.Weeks <= 0 {
 		panic("experiment: Residual requires World and positive Weeks")
 	}
+	e := r.setup()
+	if r.Legacy {
+		return r.runLegacy(e)
+	}
+	return r.runStreaming(e)
+}
+
+// residualEnv is the wiring shared by the legacy and streaming pipelines.
+type residualEnv struct {
+	w         *world.World
+	resolver  *dnsresolver.Resolver
+	domains   []alexa.Domain
+	collector *collect.Collector
+	pipeline  *filter.Pipeline
+	scanner   *rrscan.Scanner
+	cnameLib  *rrscan.CNAMELibrary
+	cfProfile dps.Profile
+}
+
+func (r Residual) setup() *residualEnv {
 	w := r.World
 
 	resolver := w.NewResolver(netsim.RegionOregon)
@@ -137,13 +176,80 @@ func (r Residual) Run() ResidualResult {
 		r.Obs.Gauge("campaign.domains").Set(int64(len(domains)))
 	}
 
+	cfProfile, _ := dps.ProfileFor(dps.Cloudflare)
+	return &residualEnv{
+		w:         w,
+		resolver:  resolver,
+		domains:   domains,
+		collector: collector,
+		pipeline:  pipeline,
+		scanner:   scanner,
+		cnameLib:  cnameLib,
+		cfProfile: cfProfile,
+	}
+}
+
+// audit runs the §VI-B.1 provider-side countermeasure when enabled.
+func (r Residual) audit(e *residualEnv) {
+	if !r.ProviderAudit {
+		return
+	}
+	e.resolver.PurgeCache()
+	auditLookup := func(name dnsmsg.Name) []netip.Addr {
+		res, err := e.resolver.Resolve(name, dnsmsg.TypeA)
+		if err != nil {
+			return nil
+		}
+		return res.Addrs()
+	}
+	for _, key := range []dps.ProviderKey{dps.Cloudflare, dps.Incapsula} {
+		if p, ok := e.w.Provider(key); ok {
+			p.AuditTerminated(auditLookup)
+		}
+	}
+}
+
+// scanWeek runs the part of one weekly round that is identical in both
+// pipelines: the Cloudflare direct scan + filter, and the Incapsula
+// CNAME-library re-resolution + filter.
+func (r Residual) scanWeek(res *ResidualResult, e *residualEnv, week int, nsAddrs []netip.Addr) {
+	// Cloudflare case study: direct scan of all domains.
+	scanned := e.scanner.ScanDirect(nsAddrs, e.domains)
+	e.resolver.PurgeCache()
+	cfReport := e.pipeline.Run(dps.Cloudflare, scanned)
+	res.Cloudflare = append(res.Cloudflare, WeeklyReport{Week: week, Report: cfReport})
+	res.CFExposure.AddWeek(week, cfReport)
+
+	// Incapsula case study: re-resolve the CNAME library starting at
+	// IncapsulaStartWeek itself. (This was `week >` for a while, which
+	// silently skipped the named start week — with the paper's
+	// "last three weeks of six" config that dropped a third of the
+	// Incapsula observations.)
+	if week >= r.IncapsulaStartWeek {
+		incScanned := e.cnameLib.ResolveAll(e.resolver)
+		incReport := e.pipeline.Run(dps.Incapsula, incScanned)
+		res.Incapsula = append(res.Incapsula, WeeklyReport{Week: week, Report: incReport})
+		res.IncExposure.AddWeek(week, incReport)
+	}
+}
+
+// finish merges the campaign's resilience accounting: the collector,
+// filter pipeline, CNAME library, and nameserver discovery all share one
+// resolver; count it once, then add each scan vantage client.
+func (r Residual) finish(res *ResidualResult, e *residualEnv) {
+	res.Stats = e.resolver.Stats().Add(e.scanner.Stats())
+	res.Sidelined = mergeSidelined(e.resolver.Health().Sidelined(), e.scanner.Sidelined())
+}
+
+// runLegacy is the original map-based pipeline: each collection round
+// materializes a full collect.Snapshot for its consumers.
+func (r Residual) runLegacy(e *residualEnv) ResidualResult {
+	w := e.w
 	res := ResidualResult{
 		Weeks:       r.Weeks,
 		CFExposure:  exposure.NewTracker(),
 		IncExposure: exposure.NewTracker(),
 	}
-
-	cfProfile, _ := dps.ProfileFor(dps.Cloudflare)
 
 	// Warm-up: age the world so the first scan already sees residue, and
 	// feed the CNAME library weekly along the way.
@@ -152,8 +258,8 @@ func (r Residual) Run() ResidualResult {
 		warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", r.WarmupDays))
 	}
 	for remaining := r.WarmupDays; remaining > 0; {
-		cnameLib.AddSnapshot(collector.Collect(w.Day()))
-		warmupSpan.AddItems(len(domains))
+		e.cnameLib.AddSnapshot(e.collector.Collect(w.Day()))
+		warmupSpan.AddItems(len(e.domains))
 		step := 7
 		if remaining < step {
 			step = remaining
@@ -163,64 +269,115 @@ func (r Residual) Run() ResidualResult {
 	}
 	warmupSpan.End()
 
-	auditLookup := func(name dnsmsg.Name) []netip.Addr {
-		res, err := resolver.Resolve(name, dnsmsg.TypeA)
-		if err != nil {
-			return nil
-		}
-		return res.Addrs()
-	}
-
 	for week := 1; week <= r.Weeks; week++ {
 		weekSpan := r.Obs.Tracer().StartSpan("week", fmt.Sprintf("week %d", week))
-		weekSpan.SetItems(len(domains))
-		if r.ProviderAudit {
-			resolver.PurgeCache()
-			for _, key := range []dps.ProviderKey{dps.Cloudflare, dps.Incapsula} {
-				if p, ok := w.Provider(key); ok {
-					p.AuditTerminated(auditLookup)
-				}
-			}
-		}
+		weekSpan.SetItems(len(e.domains))
+		r.audit(e)
 		// Collect a fresh snapshot at the start of the week; it feeds
 		// nameserver discovery and the Incapsula CNAME library.
-		snap := collector.Collect(w.Day())
-		cnameLib.AddSnapshot(snap)
+		snap := e.collector.Collect(w.Day())
+		e.cnameLib.AddSnapshot(snap)
 
-		nsHosts, nsAddrs := rrscan.DiscoverNameservers([]collect.Snapshot{snap}, cfProfile, resolver)
+		nsHosts, nsAddrs := rrscan.DiscoverNameservers([]collect.Snapshot{snap}, e.cfProfile, e.resolver)
 		if len(nsHosts) > res.NameserverCount {
 			res.NameserverCount = len(nsHosts)
 		}
 
-		// Cloudflare case study: direct scan of all domains.
-		scanned := scanner.ScanDirect(nsAddrs, domains)
-		resolver.PurgeCache()
-		cfReport := pipeline.Run(dps.Cloudflare, scanned)
-		res.Cloudflare = append(res.Cloudflare, WeeklyReport{Week: week, Report: cfReport})
-		res.CFExposure.AddWeek(week, cfReport)
-
-		// Incapsula case study: re-resolve the CNAME library starting at
-		// IncapsulaStartWeek itself. (This was `week >` for a while, which
-		// silently skipped the named start week — with the paper's
-		// "last three weeks of six" config that dropped a third of the
-		// Incapsula observations.)
-		if week >= r.IncapsulaStartWeek {
-			incScanned := cnameLib.ResolveAll(resolver)
-			incReport := pipeline.Run(dps.Incapsula, incScanned)
-			res.Incapsula = append(res.Incapsula, WeeklyReport{Week: week, Report: incReport})
-			res.IncExposure.AddWeek(week, incReport)
-		}
+		r.scanWeek(&res, e, week, nsAddrs)
 
 		// A week of usage dynamics between scans.
 		w.AdvanceDays(7)
 		weekSpan.End()
 	}
 
-	// The collector, filter pipeline, CNAME library, and nameserver
-	// discovery all share one resolver; count it once, then add each scan
-	// vantage client.
-	res.Stats = resolver.Stats().Add(scanner.Stats())
-	res.Sidelined = mergeSidelined(resolver.Health().Sidelined(), scanner.Sidelined())
+	r.finish(&res, e)
+	return res
+}
+
+// window resolves SnapWindow for the streaming pipeline.
+func (r Residual) window() int {
+	switch {
+	case r.SnapWindow < 0:
+		return 0 // unbounded: keep every collection round replayable
+	case r.SnapWindow < 1:
+		return 1 // minimum: only the current round is ever read
+	default:
+		return r.SnapWindow
+	}
+}
+
+// runStreaming is the snapstore pipeline: each collection round streams
+// into the delta store, and one rank-ordered cursor pass per round feeds
+// every snapshot consumer without materializing the day as a map.
+func (r Residual) runStreaming(e *residualEnv) ResidualResult {
+	w := e.w
+	res := ResidualResult{
+		Weeks:       r.Weeks,
+		CFExposure:  exposure.NewTracker(),
+		IncExposure: exposure.NewTracker(),
+	}
+	store := snapstore.New()
+	store.SetWindow(r.window())
+
+	// collectRound streams one collection round into the store (same
+	// queries, same order as the legacy Collect) and returns its day label
+	// for cursor replay.
+	collectRound := func() int {
+		day := w.Day()
+		dw := store.BeginDay(day)
+		e.collector.CollectStream(day, dw.Put)
+		dw.Seal()
+		return day
+	}
+
+	// Warm-up: age the world so the first scan already sees residue, and
+	// feed the CNAME library weekly along the way.
+	var warmupSpan *obs.Span
+	if r.WarmupDays > 0 {
+		warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", r.WarmupDays))
+	}
+	for remaining := r.WarmupDays; remaining > 0; {
+		day := collectRound()
+		for cur := store.Cursor(day); cur.Next(); {
+			e.cnameLib.AddRecord(cur.Apex(), cur.Record())
+		}
+		warmupSpan.AddItems(len(e.domains))
+		step := 7
+		if remaining < step {
+			step = remaining
+		}
+		w.AdvanceDays(step)
+		remaining -= step
+	}
+	warmupSpan.End()
+
+	for week := 1; week <= r.Weeks; week++ {
+		weekSpan := r.Obs.Tracer().StartSpan("week", fmt.Sprintf("week %d", week))
+		weekSpan.SetItems(len(e.domains))
+		r.audit(e)
+		// Collect at the start of the week; one cursor pass feeds both
+		// snapshot consumers — the Incapsula CNAME library and the week's
+		// fresh nameserver discovery.
+		day := collectRound()
+		disc := rrscan.NewNameserverDiscovery(e.cfProfile)
+		for cur := store.Cursor(day); cur.Next(); {
+			rec := cur.Record()
+			e.cnameLib.AddRecord(cur.Apex(), rec)
+			disc.AddRecord(rec)
+		}
+		nsHosts, nsAddrs := disc.Resolve(e.resolver)
+		if len(nsHosts) > res.NameserverCount {
+			res.NameserverCount = len(nsHosts)
+		}
+
+		r.scanWeek(&res, e, week, nsAddrs)
+
+		// A week of usage dynamics between scans.
+		w.AdvanceDays(7)
+		weekSpan.End()
+	}
+
+	r.finish(&res, e)
 	return res
 }
 

@@ -21,29 +21,42 @@ import (
 	"rrdps/internal/obs"
 )
 
-// DiscoverNameservers extracts, from collected snapshots, the hostnames of
-// the provider's NS-hosting nameservers (for Cloudflare: the
-// *.ns.cloudflare.com pool, which the paper finds is exclusive to
-// NS-rerouting customers) and resolves each to an address.
-func DiscoverNameservers(snaps []collect.Snapshot, profile dps.Profile, resolver *dnsresolver.Resolver) (hosts []dnsmsg.Name, addrs []netip.Addr) {
-	seen := make(map[dnsmsg.Name]bool)
-	for _, snap := range snaps {
-		for _, rec := range snap.Records {
-			for _, h := range rec.NSHosts {
-				if seen[h] {
-					continue
-				}
-				for _, sub := range profile.NSSubstrings {
-					if h.ContainsSubstring(sub) {
-						seen[h] = true
-						break
-					}
-				}
+// NameserverDiscovery accumulates a provider's NS-hosting nameserver
+// hostnames (for Cloudflare: the *.ns.cloudflare.com pool, which the
+// paper finds is exclusive to NS-rerouting customers) from streamed
+// records, then resolves them. It is the streaming form of
+// DiscoverNameservers: feed it each record as a snapstore cursor yields
+// one, no snapshot map required.
+type NameserverDiscovery struct {
+	profile dps.Profile
+	seen    map[dnsmsg.Name]bool
+}
+
+// NewNameserverDiscovery creates a discovery pass for the profile.
+func NewNameserverDiscovery(profile dps.Profile) *NameserverDiscovery {
+	return &NameserverDiscovery{profile: profile, seen: make(map[dnsmsg.Name]bool)}
+}
+
+// AddRecord folds one record's NS hosts into the discovered set.
+func (d *NameserverDiscovery) AddRecord(rec collect.Record) {
+	for _, h := range rec.NSHosts {
+		if d.seen[h] {
+			continue
+		}
+		for _, sub := range d.profile.NSSubstrings {
+			if h.ContainsSubstring(sub) {
+				d.seen[h] = true
+				break
 			}
 		}
 	}
-	hosts = make([]dnsmsg.Name, 0, len(seen))
-	for h := range seen {
+}
+
+// Resolve returns the discovered hostnames, sorted, and each host's first
+// A record (hosts that no longer resolve contribute no address).
+func (d *NameserverDiscovery) Resolve(resolver *dnsresolver.Resolver) (hosts []dnsmsg.Name, addrs []netip.Addr) {
+	hosts = make([]dnsmsg.Name, 0, len(d.seen))
+	for h := range d.seen {
 		hosts = append(hosts, h)
 	}
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
@@ -57,6 +70,19 @@ func DiscoverNameservers(snaps []collect.Snapshot, profile dps.Profile, resolver
 		}
 	}
 	return hosts, addrs
+}
+
+// DiscoverNameservers extracts, from collected snapshots, the hostnames of
+// the provider's NS-hosting nameservers and resolves each to an address —
+// the legacy map-based entry over NameserverDiscovery.
+func DiscoverNameservers(snaps []collect.Snapshot, profile dps.Profile, resolver *dnsresolver.Resolver) (hosts []dnsmsg.Name, addrs []netip.Addr) {
+	d := NewNameserverDiscovery(profile)
+	for _, snap := range snaps {
+		for _, rec := range snap.Records {
+			d.AddRecord(rec)
+		}
+	}
+	return d.Resolve(resolver)
 }
 
 // Scanner issues the direct scans from a set of vantage-point clients.
@@ -299,19 +325,26 @@ func (l *CNAMELibrary) SetWorkers(n int) {
 func (l *CNAMELibrary) SetObserver(r *obs.Registry) { l.obs = r }
 
 // AddSnapshot records every CNAME target in the snapshot attributed to the
-// library's provider.
+// library's provider — the legacy map-based entry over AddRecord.
 func (l *CNAMELibrary) AddSnapshot(snap collect.Snapshot) {
 	for apex, rec := range snap.Records {
-		for _, target := range rec.CNAMEs {
-			key, ok := l.matcher.MatchCNAME(target)
-			if !ok || key != l.provider {
-				continue
-			}
-			if l.targets[apex] == nil {
-				l.targets[apex] = make(map[dnsmsg.Name]bool)
-			}
-			l.targets[apex][target] = true
+		l.AddRecord(apex, rec)
+	}
+}
+
+// AddRecord records one domain's provider-attributed CNAME targets — the
+// streaming form of AddSnapshot, fed record by record from a snapstore
+// cursor.
+func (l *CNAMELibrary) AddRecord(apex dnsmsg.Name, rec collect.Record) {
+	for _, target := range rec.CNAMEs {
+		key, ok := l.matcher.MatchCNAME(target)
+		if !ok || key != l.provider {
+			continue
 		}
+		if l.targets[apex] == nil {
+			l.targets[apex] = make(map[dnsmsg.Name]bool)
+		}
+		l.targets[apex][target] = true
 	}
 }
 

@@ -142,3 +142,27 @@ func (c *Classifier) ClassifySnapshot(snap collect.Snapshot) map[dnsmsg.Name]Ado
 	}
 	return out
 }
+
+// RecordSource is a stream of (apex, record) pairs — the shape of a
+// snapstore cursor. Next advances and reports whether a record is
+// current; Apex and Record read the current position.
+type RecordSource interface {
+	Next() bool
+	Apex() dnsmsg.Name
+	Record() collect.Record
+}
+
+// ClassifyStream is ClassifySnapshot without the maps: records are
+// classified one at a time as the source yields them, and fn receives
+// each verdict in stream order. It returns the number of records
+// classified. Nothing is retained, so a day's classification costs one
+// record of memory at a time regardless of population size.
+func (c *Classifier) ClassifyStream(src RecordSource, fn func(apex dnsmsg.Name, rec collect.Record, a Adoption)) int {
+	n := 0
+	for src.Next() {
+		rec := src.Record()
+		fn(src.Apex(), rec, c.Classify(rec))
+		n++
+	}
+	return n
+}

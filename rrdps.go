@@ -16,6 +16,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/snapstore"
 	"rrdps/internal/vectors"
 	"rrdps/internal/website"
 	"rrdps/internal/world"
@@ -75,8 +76,44 @@ type PurgeTrial = experiment.PurgeTrial
 // Collector takes daily A/CNAME/NS snapshots.
 type Collector = collect.Collector
 
-// Snapshot is one day's collected records.
+// Snapshot is one day's collected records as a full map.
+//
+// Deprecated-path note: Snapshot is the legacy adapter kept so pre-store
+// callers still compile. New code should stream Collector.CollectStream
+// into a SnapshotStore and read days back through SnapshotCursor /
+// SnapshotPairCursor (or SnapshotStore.SnapshotAt when a map really is
+// needed); the campaign runners already work this way, and the map-based
+// entry points go away once downstream callers have migrated.
 type Snapshot = collect.Snapshot
+
+// SnapshotStore is the append-only, delta-encoded, name-interned store for
+// daily snapshots: each day costs only what changed, any retained day
+// replays as a virtual full snapshot, and SetWindow bounds retention for
+// arbitrarily long campaigns.
+type SnapshotStore = snapstore.Store
+
+// SnapshotWriter appends one day to a SnapshotStore
+// (BeginDay → Put every record → Seal).
+type SnapshotWriter = snapstore.DayWriter
+
+// SnapshotCursor replays one stored day in rank order, one record at a
+// time.
+type SnapshotCursor = snapstore.Cursor
+
+// SnapshotPair is one apex's (previous day, current day) record pair.
+type SnapshotPair = snapstore.Pair
+
+// SnapshotPairCursor streams a day-over-day diff as SnapshotPairs — the
+// §IV-B.3 diff without materializing either day as a map.
+type SnapshotPairCursor = snapstore.PairCursor
+
+// SnapshotStoreStats describes a store's retained shape (days, versions,
+// tombstones, interned names).
+type SnapshotStoreStats = snapstore.Stats
+
+// NewSnapshotStore builds an empty snapshot store with unbounded
+// retention.
+var NewSnapshotStore = snapstore.New
 
 // Matcher attributes DNS records to providers (A/CNAME/NS matching).
 type Matcher = match.Matcher
