@@ -9,13 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"rrdps/internal/cmdutil"
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
-	"rrdps/internal/dnsresolver"
 	"rrdps/internal/obs"
 	"rrdps/internal/world"
 )
@@ -25,21 +23,18 @@ func main() {
 	days := flag.Int("days", 42, "measurement days (the paper runs six weeks)")
 	seed := flag.Int64("seed", 1815, "world seed")
 	boost := flag.Float64("churn-boost", 1, "multiply all behaviour hazards (small worlds need >1 for dense figures)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the daily collection loop (1 = serial; snapshots are identical either way)")
-	snapWindow := flag.Int("snap-window", 0, "snapshot-store retention in days: 0 = streaming default (2), <0 = keep every day replayable, >=2 = that many days")
-	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
-	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
-	metrics := flag.String("metrics", "", "emit an observability dump after the campaign: text or json")
-	metricsOut := flag.String("metrics-out", "", "write the -metrics dump to this file instead of stdout")
-	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles around the campaign body")
+	cf := cmdutil.RegisterCampaignFlags(flag.CommandLine,
+		"snapshot-store retention in days: 0 = streaming default (2), <0 = keep every day replayable, >=2 = that many days")
 	flag.Parse()
-	if *sites <= 0 || *days <= 0 || *boost <= 0 || *workers <= 0 || *retries <= 0 {
-		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, -churn-boost, -workers, and -retries must be positive")
+	if *sites <= 0 || *days <= 0 || *boost <= 0 {
+		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, and -churn-boost must be positive")
 		os.Exit(2)
 	}
-	policy := dnsresolver.DefaultPolicy()
-	policy.MaxAttempts = *retries
-	policy.Hedge = *hedge
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
+		os.Exit(2)
+	}
+	policy := cf.Policy()
 
 	cfg := world.PaperConfig(*sites)
 	cfg.Seed = *seed
@@ -52,15 +47,28 @@ func main() {
 	start := time.Now()
 	w := world.New(cfg)
 	fmt.Printf("world ready in %v; running %d-day campaign...\n\n", time.Since(start).Round(time.Millisecond), *days)
+	if cf.Resume {
+		fmt.Fprintf(os.Stderr, "dpsmeasure: resuming campaign state from %s\n", cf.CheckpointDir)
+	}
 
 	reg := obs.NewRegistry()
-	stopProfiles, err := cmdutil.StartProfiles(*pprofPrefix)
+	stopProfiles, err := cmdutil.StartProfiles(cf.PprofPrefix)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
 		os.Exit(1)
 	}
 
-	res := experiment.Dynamics{World: w, Days: *days, Workers: *workers, Policy: &policy, Obs: reg, SnapWindow: *snapWindow}.Run()
+	res := experiment.Dynamics{
+		World:           w,
+		Days:            *days,
+		Workers:         cf.Workers,
+		Policy:          &policy,
+		Obs:             reg,
+		SnapWindow:      cf.SnapWindow,
+		CheckpointDir:   cf.CheckpointDir,
+		CheckpointEvery: cf.CheckpointEvery,
+		Resume:          cf.Resume,
+	}.Run()
 
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
@@ -76,7 +84,7 @@ func main() {
 	fmt.Println(report.Figure6(res))
 	fmt.Println(report.TableV(res))
 
-	if err := cmdutil.EmitMetrics(reg, *metrics, *metricsOut); err != nil {
+	if err := cmdutil.EmitMetrics(reg, cf.Metrics, cf.MetricsOut); err != nil {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
 		os.Exit(1)
 	}

@@ -9,13 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"rrdps/internal/cmdutil"
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
-	"rrdps/internal/dnsresolver"
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
@@ -29,21 +27,18 @@ func main() {
 	boost := flag.Float64("churn-boost", 8, "multiply leave/switch hazards so a small world yields residual records")
 	warmup := flag.Int("warmup", 28, "days of world history to simulate before the first scan")
 	incStart := flag.Int("incapsula-start", 0, "first week (1-based, inclusive) the Incapsula CNAME re-resolution runs; 0 or 1 = every week (the paper covers its last three)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallelism of the collection/scan/filter loops (1 = serial; results are identical either way)")
-	snapWindow := flag.Int("snap-window", 0, "snapshot-store retention in collection rounds: 0 = streaming default (1), <0 = keep every round replayable, >=1 = that many rounds")
-	retries := flag.Int("retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
-	hedge := flag.Bool("hedge", true, "hedge retried queries to an alternate nameserver when one is available")
-	metrics := flag.String("metrics", "", "emit an observability dump after the campaign: text or json")
-	metricsOut := flag.String("metrics-out", "", "write the -metrics dump to this file instead of stdout")
-	pprofPrefix := flag.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles around the campaign body")
+	cf := cmdutil.RegisterCampaignFlags(flag.CommandLine,
+		"snapshot-store retention in collection rounds: 0 = streaming default (1), <0 = keep every round replayable, >=1 = that many rounds")
 	flag.Parse()
-	if *sites <= 0 || *weeks <= 0 || *boost <= 0 || *workers <= 0 || *retries <= 0 {
-		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, -churn-boost, -workers, and -retries must be positive")
+	if *sites <= 0 || *weeks <= 0 || *boost <= 0 {
+		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, and -churn-boost must be positive")
 		os.Exit(2)
 	}
-	policy := dnsresolver.DefaultPolicy()
-	policy.MaxAttempts = *retries
-	policy.Hedge = *hedge
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
+		os.Exit(2)
+	}
+	policy := cf.Policy()
 
 	cfg := world.PaperConfig(*sites)
 	cfg.Seed = *seed
@@ -55,9 +50,12 @@ func main() {
 	start := time.Now()
 	w := world.New(cfg)
 	fmt.Printf("world ready in %v; running %d-week campaign...\n\n", time.Since(start).Round(time.Millisecond), *weeks)
+	if cf.Resume {
+		fmt.Fprintf(os.Stderr, "rrscan: resuming campaign state from %s\n", cf.CheckpointDir)
+	}
 
 	reg := obs.NewRegistry()
-	stopProfiles, err := cmdutil.StartProfiles(*pprofPrefix)
+	stopProfiles, err := cmdutil.StartProfiles(cf.PprofPrefix)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
 		os.Exit(1)
@@ -68,10 +66,13 @@ func main() {
 		Weeks:              *weeks,
 		WarmupDays:         *warmup,
 		IncapsulaStartWeek: *incStart,
-		Workers:            *workers,
+		Workers:            cf.Workers,
 		Policy:             &policy,
 		Obs:                reg,
-		SnapWindow:         *snapWindow,
+		SnapWindow:         cf.SnapWindow,
+		CheckpointDir:      cf.CheckpointDir,
+		CheckpointEvery:    cf.CheckpointEvery,
+		Resume:             cf.Resume,
 	}.Run()
 
 	if err := stopProfiles(); err != nil {
@@ -96,7 +97,7 @@ func main() {
 		}
 	}
 
-	if err := cmdutil.EmitMetrics(reg, *metrics, *metricsOut); err != nil {
+	if err := cmdutil.EmitMetrics(reg, cf.Metrics, cf.MetricsOut); err != nil {
 		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
 		os.Exit(1)
 	}

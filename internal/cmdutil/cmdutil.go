@@ -1,18 +1,87 @@
-// Package cmdutil holds the observability plumbing shared by the cmd
-// binaries: emitting a metrics dump as text or JSON, and capturing
-// CPU/heap profiles around a campaign body.
+// Package cmdutil holds the plumbing shared by the cmd binaries: the
+// common campaign flag block, emitting a metrics dump as text or JSON,
+// and capturing CPU/heap profiles around a campaign body.
 package cmdutil
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"rrdps/internal/core/report"
+	"rrdps/internal/dnsresolver"
 	"rrdps/internal/obs"
 )
+
+// CampaignFlags is the flag block shared by cmd/dpsmeasure and
+// cmd/rrscan — parallelism, snapshot retention, the retry policy knobs,
+// observability output, and campaign durability. It used to be
+// copy-pasted into both binaries, with the two help texts drifting
+// apart; registering it here keeps the flags and their documentation
+// identical.
+type CampaignFlags struct {
+	// Workers is the parallelism of every measurement loop.
+	Workers int
+	// SnapWindow is the snapshot-store retention bound.
+	SnapWindow int
+	// Retries / Hedge shape the retry policy (see Policy).
+	Retries int
+	Hedge   bool
+	// Metrics / MetricsOut select the post-campaign observability dump.
+	Metrics    string
+	MetricsOut string
+	// PprofPrefix enables CPU/heap profiles around the campaign body.
+	PprofPrefix string
+	// CheckpointDir / CheckpointEvery / Resume control campaign
+	// durability (see internal/snapdisk).
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+}
+
+// RegisterCampaignFlags registers the shared campaign flag block on fs.
+// snapWindowHelp documents the binary's retention unit (days vs
+// collection rounds); every other flag reads identically in both
+// binaries.
+func RegisterCampaignFlags(fs *flag.FlagSet, snapWindowHelp string) *CampaignFlags {
+	f := &CampaignFlags{}
+	fs.IntVar(&f.Workers, "workers", runtime.GOMAXPROCS(0), "parallelism of the measurement loops (1 = serial; results are identical either way)")
+	fs.IntVar(&f.SnapWindow, "snap-window", 0, snapWindowHelp)
+	fs.IntVar(&f.Retries, "retries", 3, "attempts per query (1 = no retries); backoff and health sidelining follow the default policy")
+	fs.BoolVar(&f.Hedge, "hedge", true, "hedge retried queries to an alternate nameserver when one is available")
+	fs.StringVar(&f.Metrics, "metrics", "", "emit an observability dump after the campaign: text or json")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the -metrics dump to this file instead of stdout")
+	fs.StringVar(&f.PprofPrefix, "pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof profiles around the campaign body")
+	fs.StringVar(&f.CheckpointDir, "checkpoint-dir", "", "directory for durable campaign state (checkpoints + write-ahead log); empty disables durability")
+	fs.IntVar(&f.CheckpointEvery, "checkpoint-every", 7, "world days between full checkpoints (the write-ahead log covers the rounds in between)")
+	fs.BoolVar(&f.Resume, "resume", false, "resume the campaign recorded in -checkpoint-dir instead of starting over (same seed and configuration required)")
+	return f
+}
+
+// Validate checks the flag block's invariants, returning a usage error.
+func (f *CampaignFlags) Validate() error {
+	if f.Workers <= 0 || f.Retries <= 0 {
+		return fmt.Errorf("-workers and -retries must be positive")
+	}
+	if f.CheckpointEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive")
+	}
+	if f.Resume && f.CheckpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	return nil
+}
+
+// Policy builds the retry policy the flag block describes.
+func (f *CampaignFlags) Policy() dnsresolver.Policy {
+	p := dnsresolver.DefaultPolicy()
+	p.MaxAttempts = f.Retries
+	p.Hedge = f.Hedge
+	return p
+}
 
 // EmitMetrics writes a registry dump in the given mode ("text" or
 // "json") to path, or to stdout when path is empty. An empty mode is a

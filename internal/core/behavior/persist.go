@@ -1,0 +1,72 @@
+package behavior
+
+import (
+	"sort"
+
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+)
+
+// TrackerState is a Tracker's serializable shape between days: every
+// domain's last classification (the FSM's per-domain state), the
+// exclusion set, open and closed pause windows, the detection log, and
+// the last observed day. Exporting mid-day (between BeginDay and EndDay)
+// is a programming error — checkpoints land at day boundaries.
+type TrackerState struct {
+	Prev        []DomainAdoption
+	Excluded    []dnsmsg.Name
+	OpenPauses  []PauseWindow
+	Closed      []PauseWindow
+	Detections  []Detection
+	ObservedDay int
+}
+
+// DomainAdoption is one domain's last observed classification.
+type DomainAdoption struct {
+	Apex     dnsmsg.Name
+	Adoption status.Adoption
+}
+
+// ExportState captures the tracker's state with every map flattened into
+// a sorted slice, so the encoding is deterministic.
+func (t *Tracker) ExportState() TrackerState {
+	if t.dayOpen {
+		panic("behavior: ExportState with a day open")
+	}
+	st := TrackerState{
+		Closed:      append([]PauseWindow(nil), t.closed...),
+		Detections:  append([]Detection(nil), t.detections...),
+		ObservedDay: t.observedDay,
+	}
+	for apex, a := range t.prev {
+		st.Prev = append(st.Prev, DomainAdoption{Apex: apex, Adoption: a})
+	}
+	sort.Slice(st.Prev, func(i, j int) bool { return st.Prev[i].Apex < st.Prev[j].Apex })
+	for apex := range t.excluded {
+		st.Excluded = append(st.Excluded, apex)
+	}
+	sort.Slice(st.Excluded, func(i, j int) bool { return st.Excluded[i] < st.Excluded[j] })
+	for _, w := range t.openPauses {
+		st.OpenPauses = append(st.OpenPauses, w)
+	}
+	sort.Slice(st.OpenPauses, func(i, j int) bool { return st.OpenPauses[i].Apex < st.OpenPauses[j].Apex })
+	return st
+}
+
+// RestoreTracker rebuilds a tracker from an exported state, continuing
+// exactly where the exporting tracker stopped: the next BeginDay must
+// exceed ObservedDay, and every pending pause window and FSM state
+// carries over.
+func RestoreTracker(st TrackerState) *Tracker {
+	t := NewTracker(st.Excluded)
+	t.observedDay = st.ObservedDay
+	for _, da := range st.Prev {
+		t.prev[da.Apex] = da.Adoption
+	}
+	for _, w := range st.OpenPauses {
+		t.openPauses[w.Apex] = w
+	}
+	t.closed = append([]PauseWindow(nil), st.Closed...)
+	t.detections = append([]Detection(nil), st.Detections...)
+	return t
+}

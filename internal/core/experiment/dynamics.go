@@ -201,6 +201,28 @@ type Dynamics struct {
 	// leave it false, and the flag goes away once the legacy adapter is
 	// retired.
 	Legacy bool
+	// CheckpointDir, when non-empty, makes the campaign durable: every
+	// day is teed into a write-ahead log in the directory, and a full
+	// checkpoint (store + campaign cursor) is written every
+	// CheckpointEvery world days — see internal/snapdisk. Requires the
+	// streaming pipeline (Legacy must be false).
+	CheckpointDir string
+	// CheckpointEvery is the full-checkpoint cadence in world days.
+	// Zero means 7.
+	CheckpointEvery int
+	// Resume continues the campaign recorded in CheckpointDir instead of
+	// starting over. The caller must supply a *fresh* World built from
+	// the same config and seed as the interrupted run (the world replays
+	// deterministically to the checkpointed day), and the same campaign
+	// configuration. The resumed result is value-identical to an
+	// uninterrupted run. With no state in CheckpointDir the campaign
+	// simply starts from the beginning.
+	Resume bool
+
+	// stopAfterDays, when positive, stops the campaign after that many
+	// collected days and returns the partial result — the test hook that
+	// simulates a kill at a day boundary.
+	stopAfterDays int
 }
 
 // _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
@@ -250,6 +272,9 @@ func DetectMultiCDNStream(src status.RecordSource) []dnsmsg.Name {
 func (d Dynamics) Run() DynamicsResult {
 	if d.World == nil || d.Days <= 0 {
 		panic("experiment: Dynamics requires World and positive Days")
+	}
+	if d.CheckpointDir != "" && d.Legacy {
+		panic("experiment: checkpointing requires the streaming pipeline (Legacy must be false)")
 	}
 	e := d.setup()
 	if d.Legacy {
@@ -313,21 +338,30 @@ func (d Dynamics) setup() *dynamicsEnv {
 }
 
 // advance moves the world to the next snapshot, with the optional long
-// (2-day) interval jitter.
-func (d Dynamics) advance(w *world.World) {
+// (2-day) interval jitter. It returns how many jitter draws it took
+// from d.Rand, so a checkpoint can record the draw count and a resumed
+// run can burn the same number from a fresh identically-seeded Rand.
+func (d Dynamics) advance(w *world.World) int {
 	w.AdvanceDay()
-	if d.LongIntervalProb > 0 && d.Rand.Float64() < d.LongIntervalProb {
+	if d.LongIntervalProb <= 0 {
+		return 0
+	}
+	if d.Rand.Float64() < d.LongIntervalProb {
 		// A long (2-day) gap before the next snapshot.
 		w.AdvanceDay()
 	}
+	return 1
 }
 
-// finish assembles the tracker's and resolver's campaign-end accounting.
-func (d Dynamics) finish(res *DynamicsResult, e *dynamicsEnv, tracker *behavior.Tracker) {
+// finish assembles the tracker's and resolver's campaign-end
+// accounting. base is the accounting a resumed campaign inherited from
+// before the restart (zero otherwise); the fresh resolver's stats add
+// on top, reproducing the uninterrupted totals.
+func (d Dynamics) finish(res *DynamicsResult, e *dynamicsEnv, tracker *behavior.Tracker, base dnsresolver.QueryStats) {
 	res.Detections = tracker.Detections()
 	res.PauseWindows = tracker.PauseWindows()
 	res.CountsByDay = tracker.CountsByDay()
-	res.Stats = e.resolver.Stats()
+	res.Stats = base.Add(e.resolver.Stats())
 	res.Sidelined = e.resolver.Health().Sidelined()
 }
 
@@ -369,7 +403,7 @@ func (d Dynamics) runLegacy(e *dynamicsEnv) DynamicsResult {
 		daySpan.End()
 	}
 
-	d.finish(&res, e, tracker)
+	d.finish(&res, e, tracker, dnsresolver.QueryStats{})
 	return res
 }
 
@@ -397,12 +431,77 @@ func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
 	store.SetWindow(d.window())
 	var tracker *behavior.Tracker // built after the first day (multi-CDN detection)
 	adoptions := make(map[dnsmsg.Name]status.Adoption, len(e.domains))
+	startDay := 0
+	randDraws := 0
+	var baseStats dnsresolver.QueryStats
 
-	for day := 0; day < d.Days; day++ {
+	var p *campaignPersist
+	if d.CheckpointDir != "" {
+		var err error
+		p, err = openCampaignPersist(d.CheckpointDir, d.CheckpointEvery, d.Resume)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+		defer p.close()
+		if d.Resume {
+			rec, err := p.recoverState(d.window())
+			if err != nil {
+				panic(fmt.Sprintf("experiment: recover: %v", err))
+			}
+			if rec.ok {
+				cur, err := decodeDynamicsCursor(rec.blob)
+				if err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				store = rec.store
+				startDay = cur.NextDay
+				randDraws = cur.RandDraws
+				baseStats = cur.BaseStats
+				if cur.HaveTracker {
+					tracker = behavior.RestoreTracker(cur.Tracker)
+				}
+				adoptions = cur.Adoptions
+				if adoptions == nil {
+					adoptions = make(map[dnsmsg.Name]status.Adoption, len(e.domains))
+				}
+				res.Breakdowns = cur.Breakdowns
+				if cur.Unchanged != nil {
+					res.Unchanged = cur.Unchanged
+				}
+				e.resolver.Health().RestoreState(cur.Health)
+				d.Obs.Restore(cur.Obs)
+				advanceWorldTo(e.w, cur.WorldDay)
+				if err := e.w.Net.RestoreCounters(cur.Net); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				for i := 0; i < cur.RandDraws; i++ {
+					d.Rand.Float64()
+				}
+			}
+		}
+		if err := p.openWAL(); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+		if startDay > 0 {
+			// Re-establish the invariant (state = checkpoint + WAL) with a
+			// fresh checkpoint, so the replayed WAL days are not needed twice.
+			footer := encodeCursor(d.exportCursor(startDay, randDraws, e, tracker, adoptions, &res))
+			if err := p.checkpointNow(e.w.Day(), store, footer); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+		}
+	}
+
+	for day := startDay; day < d.Days; day++ {
 		daySpan := d.Obs.Tracer().StartSpan("day", fmt.Sprintf("day %d", day))
 		daySpan.SetItems(len(e.domains))
 		dw := store.BeginDay(day)
-		e.collector.CollectStream(day, dw.Put)
+		put := dw.Put
+		if p != nil {
+			p.beginDay(day)
+			put = p.tee(dw.Put)
+		}
+		e.collector.CollectStream(day, put)
 		dw.Seal()
 
 		if tracker == nil {
@@ -443,11 +542,20 @@ func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
 			d.verifyUnchangedAt(&res, e.verifier, store, day, det)
 		}
 
-		d.advance(e.w)
+		randDraws += d.advance(e.w)
+		if p != nil {
+			footer := encodeCursor(d.exportCursor(day+1, randDraws, e, tracker, adoptions, &res))
+			if err := p.sealRound(e.w.Day(), store, footer, day+1 == d.Days); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+		}
 		daySpan.End()
+		if d.stopAfterDays > 0 && day-startDay+1 >= d.stopAfterDays && day+1 < d.Days {
+			return res // simulated kill; the partial result is not meaningful
+		}
 	}
 
-	d.finish(&res, e, tracker)
+	d.finish(&res, e, tracker, baseStats)
 	return res
 }
 

@@ -100,6 +100,29 @@ type Residual struct {
 	// TestStreamingMatchesLegacy can pin the streaming pipeline's outputs
 	// against it; new code should leave it false.
 	Legacy bool
+	// CheckpointDir, when non-empty, makes the campaign durable: every
+	// collection round is teed into a write-ahead log in the directory,
+	// and a full checkpoint (store + campaign cursor) is written every
+	// CheckpointEvery world days — see internal/snapdisk. Requires the
+	// streaming pipeline, and is incompatible with ProviderAudit (the
+	// audit mutates provider state through queries that a rebuilt world
+	// cannot replay).
+	CheckpointDir string
+	// CheckpointEvery is the full-checkpoint cadence in world days.
+	// Zero means 7 (one checkpoint per weekly round).
+	CheckpointEvery int
+	// Resume continues the campaign recorded in CheckpointDir instead of
+	// starting over. The caller must supply a *fresh* World built from
+	// the same config and seed as the interrupted run, and the same
+	// campaign configuration; the resumed result is value-identical to
+	// an uninterrupted run. With no state in CheckpointDir the campaign
+	// simply starts from the beginning.
+	Resume bool
+
+	// stopAfterRounds, when positive, stops the campaign after that many
+	// collection rounds (warm-up rounds count) and returns the partial
+	// result — the test hook that simulates a kill at a round boundary.
+	stopAfterRounds int
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
@@ -113,6 +136,12 @@ type Residual struct {
 func (r Residual) Run() ResidualResult {
 	if r.World == nil || r.Weeks <= 0 {
 		panic("experiment: Residual requires World and positive Weeks")
+	}
+	if r.CheckpointDir != "" && r.Legacy {
+		panic("experiment: checkpointing requires the streaming pipeline (Legacy must be false)")
+	}
+	if r.CheckpointDir != "" && r.ProviderAudit {
+		panic("experiment: checkpointing is incompatible with ProviderAudit (audits mutate provider state a rebuilt world cannot replay)")
 	}
 	e := r.setup()
 	if r.Legacy {
@@ -235,9 +264,11 @@ func (r Residual) scanWeek(res *ResidualResult, e *residualEnv, week int, nsAddr
 
 // finish merges the campaign's resilience accounting: the collector,
 // filter pipeline, CNAME library, and nameserver discovery all share one
-// resolver; count it once, then add each scan vantage client.
-func (r Residual) finish(res *ResidualResult, e *residualEnv) {
-	res.Stats = e.resolver.Stats().Add(e.scanner.Stats())
+// resolver; count it once, then add each scan vantage client. base is
+// the accounting a resumed campaign inherited from before the restart
+// (zero otherwise).
+func (r Residual) finish(res *ResidualResult, e *residualEnv, base dnsresolver.QueryStats) {
+	res.Stats = base.Add(e.resolver.Stats().Add(e.scanner.Stats()))
 	res.Sidelined = mergeSidelined(e.resolver.Health().Sidelined(), e.scanner.Sidelined())
 }
 
@@ -290,7 +321,7 @@ func (r Residual) runLegacy(e *residualEnv) ResidualResult {
 		weekSpan.End()
 	}
 
-	r.finish(&res, e)
+	r.finish(&res, e, dnsresolver.QueryStats{})
 	return res
 }
 
@@ -318,40 +349,118 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 	}
 	store := snapstore.New()
 	store.SetWindow(r.window())
+	warmupRemaining := r.WarmupDays
+	startWeek := 1
+	rounds := 0
+	var baseStats dnsresolver.QueryStats
+
+	var p *campaignPersist
+	if r.CheckpointDir != "" {
+		var err error
+		p, err = openCampaignPersist(r.CheckpointDir, r.CheckpointEvery, r.Resume)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+		defer p.close()
+		if r.Resume {
+			rec, err := p.recoverState(r.window())
+			if err != nil {
+				panic(fmt.Sprintf("experiment: recover: %v", err))
+			}
+			if rec.ok {
+				cur, err := decodeResidualCursor(rec.blob)
+				if err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				store = rec.store
+				warmupRemaining = cur.WarmupRemaining
+				startWeek = cur.NextWeek
+				baseStats = cur.BaseStats
+				res.NameserverCount = cur.NameserverCount
+				res.Cloudflare = cur.Cloudflare
+				res.Incapsula = cur.Incapsula
+				res.CFExposure = exposure.RestoreTracker(cur.CFExposure)
+				res.IncExposure = exposure.RestoreTracker(cur.IncExposure)
+				e.cnameLib.RestoreState(cur.CNAMELib)
+				if err := e.scanner.RestoreState(cur.Scanner); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				e.resolver.Health().RestoreState(cur.Health)
+				r.Obs.Restore(cur.Obs)
+				advanceWorldTo(w, cur.WorldDay)
+				if err := w.Net.RestoreCounters(cur.Net); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+			}
+		}
+		if err := p.openWAL(); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+		if warmupRemaining < r.WarmupDays || startWeek > 1 {
+			// Re-establish the invariant (state = checkpoint + WAL) with a
+			// fresh checkpoint, so the replayed WAL days are not needed twice.
+			footer := encodeCursor(r.exportCursor(warmupRemaining, startWeek, e, &res))
+			if err := p.checkpointNow(w.Day(), store, footer); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+		}
+	}
 
 	// collectRound streams one collection round into the store (same
 	// queries, same order as the legacy Collect) and returns its day label
-	// for cursor replay.
+	// for cursor replay. With persistence, the records tee into the WAL.
 	collectRound := func() int {
 		day := w.Day()
 		dw := store.BeginDay(day)
-		e.collector.CollectStream(day, dw.Put)
+		put := dw.Put
+		if p != nil {
+			p.beginDay(day)
+			put = p.tee(dw.Put)
+		}
+		e.collector.CollectStream(day, put)
 		dw.Seal()
 		return day
+	}
+
+	// sealRound closes the round's WAL group with the current cursor and
+	// writes a full checkpoint when due. stop simulates a kill for the
+	// resume tests.
+	sealRound := func(warmupLeft, nextWeek int, force bool) (stop bool) {
+		rounds++
+		if p != nil {
+			footer := encodeCursor(r.exportCursor(warmupLeft, nextWeek, e, &res))
+			if err := p.sealRound(w.Day(), store, footer, force); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+		}
+		return r.stopAfterRounds > 0 && rounds >= r.stopAfterRounds && !force
 	}
 
 	// Warm-up: age the world so the first scan already sees residue, and
 	// feed the CNAME library weekly along the way.
 	var warmupSpan *obs.Span
-	if r.WarmupDays > 0 {
-		warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", r.WarmupDays))
+	if warmupRemaining > 0 {
+		warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", warmupRemaining))
 	}
-	for remaining := r.WarmupDays; remaining > 0; {
+	for warmupRemaining > 0 {
 		day := collectRound()
 		for cur := store.Cursor(day); cur.Next(); {
 			e.cnameLib.AddRecord(cur.Apex(), cur.Record())
 		}
 		warmupSpan.AddItems(len(e.domains))
 		step := 7
-		if remaining < step {
-			step = remaining
+		if warmupRemaining < step {
+			step = warmupRemaining
 		}
 		w.AdvanceDays(step)
-		remaining -= step
+		warmupRemaining -= step
+		if sealRound(warmupRemaining, startWeek, false) {
+			return res // simulated kill; the partial result is not meaningful
+		}
 	}
 	warmupSpan.End()
 
-	for week := 1; week <= r.Weeks; week++ {
+	for week := startWeek; week <= r.Weeks; week++ {
 		weekSpan := r.Obs.Tracer().StartSpan("week", fmt.Sprintf("week %d", week))
 		weekSpan.SetItems(len(e.domains))
 		r.audit(e)
@@ -374,10 +483,14 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 
 		// A week of usage dynamics between scans.
 		w.AdvanceDays(7)
+		stop := sealRound(0, week+1, week == r.Weeks)
 		weekSpan.End()
+		if stop {
+			return res // simulated kill; the partial result is not meaningful
+		}
 	}
 
-	r.finish(&res, e)
+	r.finish(&res, e, baseStats)
 	return res
 }
 

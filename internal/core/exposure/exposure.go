@@ -49,6 +49,54 @@ func (t *Tracker) AddWeek(week int, rep filter.Report) {
 // Weeks returns the number of observations.
 func (t *Tracker) Weeks() int { return len(t.weeks) }
 
+// WeekState is one week's observation flattened to sorted name lists —
+// the serializable form of WeekObservation.
+type WeekState struct {
+	Week     int
+	Hidden   []dnsmsg.Name
+	Verified []dnsmsg.Name
+}
+
+// ExportState captures every week's observation in order, each week's
+// sets sorted, so the encoding is deterministic.
+func (t *Tracker) ExportState() []WeekState {
+	out := make([]WeekState, len(t.weeks))
+	for i, obs := range t.weeks {
+		ws := WeekState{Week: obs.Week}
+		for apex := range obs.Hidden {
+			ws.Hidden = append(ws.Hidden, apex)
+		}
+		for apex := range obs.Verified {
+			ws.Verified = append(ws.Verified, apex)
+		}
+		sort.Slice(ws.Hidden, func(a, b int) bool { return ws.Hidden[a] < ws.Hidden[b] })
+		sort.Slice(ws.Verified, func(a, b int) bool { return ws.Verified[a] < ws.Verified[b] })
+		out[i] = ws
+	}
+	return out
+}
+
+// RestoreTracker rebuilds a tracker from exported weeks; AddWeek
+// continues from the last restored week.
+func RestoreTracker(weeks []WeekState) *Tracker {
+	t := NewTracker()
+	for _, ws := range weeks {
+		obs := WeekObservation{
+			Week:     ws.Week,
+			Hidden:   make(map[dnsmsg.Name]bool, len(ws.Hidden)),
+			Verified: make(map[dnsmsg.Name]bool, len(ws.Verified)),
+		}
+		for _, apex := range ws.Hidden {
+			obs.Hidden[apex] = true
+		}
+		for _, apex := range ws.Verified {
+			obs.Verified[apex] = true
+		}
+		t.weeks = append(t.weeks, obs)
+	}
+	return t
+}
+
 // WeeklyCounts returns, per week, the hidden-record and verified-origin
 // counts — Table VI's per-week rows.
 func (t *Tracker) WeeklyCounts() (weeks []int, hidden []int, verified []int) {

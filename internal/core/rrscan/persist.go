@@ -1,0 +1,76 @@
+package rrscan
+
+import (
+	"fmt"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+)
+
+// ScannerState is the scanner state that must survive a campaign
+// restart: the vantage rotation cursor (the i-th query of the next scan
+// must use the same client the uninterrupted run would have) and each
+// vantage client's nameserver-health record, in vantage order.
+type ScannerState struct {
+	Next    int
+	Vantage []dnsresolver.HealthState
+}
+
+// ExportState captures the scanner's resumable state. Call between
+// scans, like every other configuration entry point.
+func (s *Scanner) ExportState() ScannerState {
+	st := ScannerState{Next: s.next}
+	for _, v := range s.vantage {
+		st.Vantage = append(st.Vantage, v.Health().ExportState())
+	}
+	return st
+}
+
+// RestoreState overwrites the scanner's resumable state. The vantage
+// count must match the exporting scanner's — the vantage list is
+// configuration, rebuilt by the caller, not checkpointed.
+func (s *Scanner) RestoreState(st ScannerState) error {
+	if len(st.Vantage) != len(s.vantage) {
+		return fmt.Errorf("rrscan: %d vantage health records for %d clients", len(st.Vantage), len(s.vantage))
+	}
+	if st.Next < 0 {
+		return fmt.Errorf("rrscan: negative rotation cursor %d", st.Next)
+	}
+	s.next = st.Next
+	for i, v := range s.vantage {
+		v.Health().RestoreState(st.Vantage[i])
+	}
+	return nil
+}
+
+// CNAMETargets is one domain's recorded provider CNAME targets.
+type CNAMETargets struct {
+	Apex    dnsmsg.Name
+	Targets []dnsmsg.Name
+}
+
+// ExportState captures the library's accumulated targets, sorted by
+// apex and target so the encoding is deterministic.
+func (l *CNAMELibrary) ExportState() []CNAMETargets {
+	out := make([]CNAMETargets, 0, len(l.targets))
+	for _, apex := range l.Apexes() {
+		out = append(out, CNAMETargets{Apex: apex, Targets: l.Targets(apex)})
+	}
+	return out
+}
+
+// RestoreState replaces the library's accumulated targets. Provider and
+// matcher are configuration and stay as constructed.
+func (l *CNAMELibrary) RestoreState(ts []CNAMETargets) {
+	l.targets = make(map[dnsmsg.Name]map[dnsmsg.Name]bool, len(ts))
+	for _, t := range ts {
+		if len(t.Targets) == 0 {
+			continue
+		}
+		set := make(map[dnsmsg.Name]bool, len(t.Targets))
+		for _, target := range t.Targets {
+			set[target] = true
+		}
+		l.targets[t.Apex] = set
+	}
+}

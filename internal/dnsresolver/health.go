@@ -128,6 +128,64 @@ func (h *Health) Events() uint64 {
 	return h.events
 }
 
+// HealthState is a Health tracker's serializable shape: every entry's
+// folded sideline state plus its not-yet-folded per-pass observations
+// (a checkpoint can land between observations and the pass-boundary
+// Checkpoint call), and the lifetime event counter.
+type HealthState struct {
+	Entries []HealthEntryState
+	Events  uint64
+}
+
+// HealthEntryState is one server's health record.
+type HealthEntryState struct {
+	Addr            netip.Addr
+	SawSuccess      bool
+	SawTimeout      bool
+	ConsecBadPasses int
+	SidelinedFor    int
+	Sidelined       uint64
+}
+
+// ExportState captures the tracker's state, entries sorted by address
+// for a deterministic encoding.
+func (h *Health) ExportState() HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HealthState{Events: h.events}
+	for addr, e := range h.entries {
+		st.Entries = append(st.Entries, HealthEntryState{
+			Addr:            addr,
+			SawSuccess:      e.sawSuccess,
+			SawTimeout:      e.sawTimeout,
+			ConsecBadPasses: e.consecBadPasses,
+			SidelinedFor:    e.sidelinedFor,
+			Sidelined:       e.sidelined,
+		})
+	}
+	sort.Slice(st.Entries, func(i, j int) bool { return st.Entries[i].Addr.Less(st.Entries[j].Addr) })
+	return st
+}
+
+// RestoreState overwrites the tracker's state from an export — the
+// campaign resume path, so sideline sentences and bad-pass streaks
+// carry across a restart exactly.
+func (h *Health) RestoreState(st HealthState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events = st.Events
+	h.entries = make(map[netip.Addr]*healthEntry, len(st.Entries))
+	for _, e := range st.Entries {
+		h.entries[e.Addr] = &healthEntry{
+			sawSuccess:      e.SawSuccess,
+			sawTimeout:      e.SawTimeout,
+			consecBadPasses: e.ConsecBadPasses,
+			sidelinedFor:    e.SidelinedFor,
+			sidelined:       e.Sidelined,
+		}
+	}
+}
+
 // filterAvailable returns the available subset of servers in order; when
 // every candidate is sidelined it returns servers unchanged, so health
 // can degrade selection but never strand a query.

@@ -125,6 +125,17 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum.Load()
 }
 
+// restore overwrites the histogram's state from a snapshot. Bucket
+// indexes outside the fixed layout are ignored (a decoded snapshot is
+// untrusted input; Registry.Restore owns rejecting it wholesale).
+func (h *Histogram) restore(s HistogramSnapshot) {
+	h.count.Store(s.Count)
+	h.sum.Store(s.Sum)
+	for i := range h.buckets {
+		h.buckets[i].Store(s.Buckets[i])
+	}
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:   h.count.Load(),

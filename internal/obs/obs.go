@@ -141,6 +141,28 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Restore overwrites the registry's metrics from a snapshot, recreating
+// each metric with the volatility the snapshot recorded — the campaign
+// resume path, where a checkpointed registry picks up exactly where the
+// interrupted run's accounting stopped. Metrics already registered keep
+// their identity (handles held by components stay live); metrics absent
+// from the snapshot are left untouched. Nil-safe.
+func (r *Registry) Restore(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		c := r.counter(name, s.Volatile[name])
+		c.v.Store(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		r.histogram(name, s.Volatile[name]).restore(hs)
+	}
+}
+
 // Dump bundles the snapshot with the tracer's per-phase aggregates and
 // raw event log — the unit the cmd binaries serialize behind -metrics.
 type Dump struct {

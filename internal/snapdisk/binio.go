@@ -1,0 +1,216 @@
+// Package snapdisk persists campaign state: versioned binary checkpoints
+// of a snapstore.Store (plus an opaque campaign-cursor blob), and a
+// day-level write-ahead log that records every Put of the day in flight,
+// so a campaign killed on day 35 of 42 restarts where it left off instead
+// of losing six weeks of collection.
+//
+// Layering: snapstore owns the in-memory delta store and exposes its
+// serializable shape as snapstore.State; snapdisk owns the on-disk
+// encoding (sections, CRCs, atomic renames, tail-tolerant WAL replay);
+// experiment owns what goes in the campaign blob. Decoding never panics:
+// arbitrary or bit-flipped input returns an error (checksum, bounds, or
+// structural), and a truncated WAL tail is detected and dropped — the
+// exact guarantees FuzzCheckpointDecode and FuzzWALReplay pin.
+package snapdisk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+
+	"rrdps/internal/dnsmsg"
+)
+
+// ErrCorrupt is wrapped by every decoding error caused by damaged input
+// (as opposed to I/O failures), so callers can distinguish "this file is
+// bad" from "I could not read it".
+var ErrCorrupt = errors.New("snapdisk: corrupt input")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Writer accumulates a length-delimited binary encoding. The zero value
+// is ready to use; Bytes returns the encoded buffer.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a signed integer (zigzag varint).
+func (w *Writer) Int(v int) { w.buf = binary.AppendVarint(w.buf, int64(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Bytes8 appends a length-prefixed byte slice.
+func (w *Writer) Bytes8(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Name appends a DNS name.
+func (w *Writer) Name(n dnsmsg.Name) { w.String(string(n)) }
+
+// Addr appends a netip.Addr in its 4- or 16-byte binary form.
+func (w *Writer) Addr(a netip.Addr) {
+	b, err := a.MarshalBinary()
+	if err != nil {
+		// netip.Addr.MarshalBinary cannot fail today; guard anyway.
+		panic(fmt.Sprintf("snapdisk: marshal addr %v: %v", a, err))
+	}
+	w.Bytes8(b)
+}
+
+// Reader decodes a Writer's encoding with a sticky error: every getter
+// returns a zero value after the first failure, and Err reports it. This
+// keeps decoding loops linear while guaranteeing that malformed input —
+// truncation, absurd lengths, bit flips — surfaces as an error, never a
+// panic or an over-allocation.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corruptf(format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed (zigzag varint) integer.
+func (r *Reader) Int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	if v > math.MaxInt || v < math.MinInt {
+		r.fail("varint %d out of int range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a boolean byte (anything non-zero-or-one is corruption).
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail("bool past end")
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > 1 {
+		r.fail("bad bool byte %#x", b)
+		return false
+	}
+	return b == 1
+}
+
+// Len reads a count that prefixes n items of at least itemSize bytes
+// each, rejecting counts the remaining input cannot possibly hold — the
+// guard that keeps corrupt lengths from turning into giant allocations.
+func (r *Reader) Len(itemSize int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if itemSize < 1 {
+		itemSize = 1
+	}
+	if v > uint64(r.Remaining()/itemSize) {
+		r.fail("count %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes8 reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Bytes8() []byte {
+	n := r.Len(1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Name reads a DNS name.
+func (r *Reader) Name() dnsmsg.Name { return dnsmsg.Name(r.String()) }
+
+// Addr reads a netip.Addr.
+func (r *Reader) Addr() netip.Addr {
+	b := r.Bytes8()
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if err := a.UnmarshalBinary(b); err != nil {
+		r.fail("bad addr: %v", err)
+		return netip.Addr{}
+	}
+	return a
+}

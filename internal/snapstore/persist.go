@@ -1,0 +1,202 @@
+package snapstore
+
+import (
+	"fmt"
+	"net/netip"
+
+	"rrdps/internal/dnsmsg"
+)
+
+// State is the serializable shape of a Store: everything a checkpoint
+// must carry to rebuild the store value-identically — the interner table,
+// the per-apex metadata and version chains (tombstones included), the
+// replayable day list, and the retention/lifetime counters. The slices
+// share backing arrays with the live store where that is safe (the store
+// is append-only and never mutates an existing version), so exporting is
+// cheap; FromState deep-copies on the way back in.
+//
+// snapdisk owns the on-disk encoding of this struct; State itself is the
+// package boundary, so the store's fields can stay unexported.
+type State struct {
+	// Names is the interner table in ID order (NameID i names Names[i]).
+	Names []dnsmsg.Name
+	// Apexes is the per-apex invariant metadata, indexed by apex index.
+	Apexes []ApexState
+	// Chains holds each apex's version chain, aligned with Apexes.
+	Chains [][]VersionState
+	// Days is the replayable day list in append order.
+	Days []int
+	// Evicted counts days dropped by the retention window.
+	Evicted int
+	// Window is the retention bound (0 = unbounded).
+	Window int
+	// Versions / Tombstones are the lifetime append counters.
+	Versions, Tombstones int
+}
+
+// ApexState is one apex's invariant metadata.
+type ApexState struct {
+	Name dnsmsg.Name
+	Rank int
+}
+
+// VersionState is one link of a version chain.
+type VersionState struct {
+	Day  int
+	Gone bool
+	Rec  RecordState
+}
+
+// RecordState is the compact stored record, names as interner IDs.
+type RecordState struct {
+	Addrs     []netip.Addr
+	CNAMEs    []uint32
+	NSHosts   []uint32
+	ResolveOK bool
+	NSOK      bool
+}
+
+// ExportState captures the store's serializable shape. Call it between
+// days (after Seal, before the next BeginDay), like every other read
+// entry point.
+func (s *Store) ExportState() State {
+	st := State{
+		Names:      append([]dnsmsg.Name(nil), s.interner.names...),
+		Apexes:     make([]ApexState, len(s.metas)),
+		Chains:     make([][]VersionState, len(s.chains)),
+		Days:       append([]int(nil), s.days...),
+		Evicted:    s.evicted,
+		Window:     s.window,
+		Versions:   s.versions,
+		Tombstones: s.tombstones,
+	}
+	for i, m := range s.metas {
+		st.Apexes[i] = ApexState{Name: m.name, Rank: int(m.rank)}
+	}
+	for i, chain := range s.chains {
+		out := make([]VersionState, len(chain))
+		for j, v := range chain {
+			out[j] = VersionState{
+				Day:  int(v.day),
+				Gone: v.gone,
+				Rec: RecordState{
+					Addrs:     v.rec.addrs,
+					CNAMEs:    idsOut(v.rec.cnames),
+					NSHosts:   idsOut(v.rec.nsHosts),
+					ResolveOK: v.rec.resolveOK,
+					NSOK:      v.rec.nsOK,
+				},
+			}
+		}
+		st.Chains[i] = out
+	}
+	return st
+}
+
+// FromState rebuilds a store from an exported (or decoded) state. Unlike
+// the panicking append paths, it validates everything it indexes with —
+// name IDs, chain/apex alignment, day ordering — and returns an error on
+// inconsistent input: a decoded checkpoint that passed its checksums can
+// still be structurally wrong, and loading it must fail loudly rather
+// than build a store that panics later.
+func FromState(st State) (*Store, error) {
+	if len(st.Chains) != len(st.Apexes) {
+		return nil, fmt.Errorf("snapstore: %d chains for %d apexes", len(st.Chains), len(st.Apexes))
+	}
+	if st.Window < 0 || st.Evicted < 0 || st.Versions < 0 || st.Tombstones < 0 {
+		return nil, fmt.Errorf("snapstore: negative counter in state")
+	}
+	for i := 1; i < len(st.Days); i++ {
+		if st.Days[i] <= st.Days[i-1] {
+			return nil, fmt.Errorf("snapstore: day list not strictly increasing at %d", i)
+		}
+	}
+
+	s := New()
+	s.window = st.Window
+	s.evicted = st.Evicted
+	s.versions = st.Versions
+	s.tombstones = st.Tombstones
+	s.days = append([]int(nil), st.Days...)
+
+	s.interner.names = append([]dnsmsg.Name(nil), st.Names...)
+	for id, n := range s.interner.names {
+		if _, dup := s.interner.ids[n]; dup {
+			return nil, fmt.Errorf("snapstore: duplicate interned name %q", n)
+		}
+		s.interner.ids[n] = NameID(id)
+	}
+
+	s.metas = make([]apexMeta, len(st.Apexes))
+	s.chains = make([][]version, len(st.Apexes))
+	for i, a := range st.Apexes {
+		if _, dup := s.byApex[a.Name]; dup {
+			return nil, fmt.Errorf("snapstore: duplicate apex %q", a.Name)
+		}
+		if a.Rank < 0 || a.Rank > 1<<31-1 {
+			return nil, fmt.Errorf("snapstore: apex %q rank %d out of range", a.Name, a.Rank)
+		}
+		s.byApex[a.Name] = int32(i)
+		s.metas[i] = apexMeta{name: a.Name, rank: int32(a.Rank)}
+
+		chain := make([]version, len(st.Chains[i]))
+		for j, vs := range st.Chains[i] {
+			if j > 0 && vs.Day <= st.Chains[i][j-1].Day {
+				return nil, fmt.Errorf("snapstore: apex %q chain days not increasing", a.Name)
+			}
+			if vs.Day < -1<<31 || vs.Day > 1<<31-1 {
+				return nil, fmt.Errorf("snapstore: apex %q version day %d out of range", a.Name, vs.Day)
+			}
+			cnames, err := idsIn(vs.Rec.CNAMEs, len(s.interner.names))
+			if err != nil {
+				return nil, fmt.Errorf("snapstore: apex %q cname %v", a.Name, err)
+			}
+			nsHosts, err := idsIn(vs.Rec.NSHosts, len(s.interner.names))
+			if err != nil {
+				return nil, fmt.Errorf("snapstore: apex %q ns %v", a.Name, err)
+			}
+			chain[j] = version{
+				day:  int32(vs.Day),
+				gone: vs.Gone,
+				rec: crec{
+					addrs:     append([]netip.Addr(nil), vs.Rec.Addrs...),
+					cnames:    cnames,
+					nsHosts:   nsHosts,
+					resolveOK: vs.Rec.ResolveOK,
+					nsOK:      vs.Rec.NSOK,
+				},
+			}
+		}
+		s.chains[i] = chain
+	}
+	s.rebuildRankOrder()
+	return s, nil
+}
+
+// idsOut converts interned handles to plain uint32s, preserving nil.
+func idsOut(ids []NameID) []uint32 {
+	if ids == nil {
+		return nil
+	}
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	return out
+}
+
+// idsIn converts plain uint32s back to handles, bounds-checking each
+// against the interner table and preserving nil.
+func idsIn(ids []uint32, tableLen int) ([]NameID, error) {
+	if ids == nil {
+		return nil, nil
+	}
+	out := make([]NameID, len(ids))
+	for i, id := range ids {
+		if int(id) >= tableLen {
+			return nil, fmt.Errorf("id %d outside table of %d", id, tableLen)
+		}
+		out[i] = NameID(id)
+	}
+	return out, nil
+}

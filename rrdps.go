@@ -16,6 +16,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/snapdisk"
 	"rrdps/internal/snapstore"
 	"rrdps/internal/vectors"
 	"rrdps/internal/website"
@@ -114,6 +115,50 @@ type SnapshotStoreStats = snapstore.Stats
 // NewSnapshotStore builds an empty snapshot store with unbounded
 // retention.
 var NewSnapshotStore = snapstore.New
+
+// ---------------------------------------------------------------------------
+// Durability (checkpoints and the write-ahead log).
+
+// SnapshotState is a SnapshotStore's full logical state in plain slices —
+// the unit the checkpoint format serializes.
+type SnapshotState = snapstore.State
+
+// ExportSnapshotState captures a store's state for checkpointing.
+func ExportSnapshotState(s *SnapshotStore) SnapshotState { return s.ExportState() }
+
+// SnapshotStoreFromState rebuilds a store from a checkpointed state,
+// validating every internal invariant.
+var SnapshotStoreFromState = snapstore.FromState
+
+// CheckpointDir manages a directory of rotated campaign checkpoints plus
+// the write-ahead log covering the rounds since the newest one.
+type CheckpointDir = snapdisk.Dir
+
+// WAL is the day-level write-ahead log a campaign tees Put records into;
+// only sealed day groups count as durable.
+type WAL = snapdisk.WAL
+
+// WALDay is one sealed day group recovered from a write-ahead log.
+type WALDay = snapdisk.WALDay
+
+// OpenCheckpointDir opens (creating if needed) a checkpoint directory.
+var OpenCheckpointDir = snapdisk.OpenDir
+
+// OpenWAL opens a write-ahead log for appending, creating it if needed.
+var OpenWAL = snapdisk.OpenWAL
+
+// ReplayWAL reads back a log's sealed day groups, dropping any torn tail.
+var ReplayWAL = snapdisk.ReplayWAL
+
+// MarshalCheckpoint / UnmarshalCheckpoint are the versioned, checksummed
+// binary checkpoint codec (store state + an opaque campaign blob).
+var (
+	MarshalCheckpoint   = snapdisk.MarshalCheckpoint
+	UnmarshalCheckpoint = snapdisk.UnmarshalCheckpoint
+)
+
+// ErrCheckpointCorrupt is the sentinel every snapdisk decode error wraps.
+var ErrCheckpointCorrupt = snapdisk.ErrCorrupt
 
 // Matcher attributes DNS records to providers (A/CNAME/NS matching).
 type Matcher = match.Matcher
