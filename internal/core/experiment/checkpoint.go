@@ -123,9 +123,11 @@ func (p *campaignPersist) recoverState(window int) (recovered, error) {
 	return recovered{store: store, blob: blob, ok: ok}, nil
 }
 
-// openWAL opens the campaign WAL for appending. Call after recovery (or
-// Clear): appending to a torn tail would bury sealed groups behind
-// garbage, so the WAL is truncated first.
+// openWAL opens the campaign WAL for appending. Call after recovery and
+// after the post-recovery checkpointNow (or after Clear): appending to a
+// torn tail would bury sealed groups behind garbage, so the WAL is
+// truncated first — and truncating before the recovered state has been
+// re-checkpointed would durably discard the sealed groups it replayed.
 func (p *campaignPersist) openWAL() error {
 	if err := p.truncateWAL(); err != nil {
 		return err
@@ -169,13 +171,16 @@ func (p *campaignPersist) sealRound(worldDay int, store *snapstore.Store, footer
 
 // checkpointNow writes a full checkpoint outside the seal path — the
 // fresh post-recovery checkpoint that re-establishes the invariant
-// before the campaign continues.
+// before the campaign continues. It runs BEFORE openWAL truncates the
+// WAL: the replayed sealed groups must be durable in the new checkpoint
+// before the only other copy of them is discarded (a crash in between
+// just resumes from the new checkpoint, skipping the stale WAL groups).
 func (p *campaignPersist) checkpointNow(worldDay int, store *snapstore.Store, footer []byte) error {
 	if err := p.dir.WriteCheckpoint(worldDay, store.ExportState(), footer); err != nil {
 		return err
 	}
 	p.lastCkpt = worldDay
-	return p.wal.Reset()
+	return nil
 }
 
 func (p *campaignPersist) close() {
@@ -280,9 +285,12 @@ func decodeResidualCursor(b []byte) (residualCursor, error) {
 }
 
 // exportCursor captures the Dynamics campaign state after a completed
-// day (nextDay is the next loop index to run).
-func (d Dynamics) exportCursor(nextDay, randDraws int, e *dynamicsEnv, tracker *behavior.Tracker, adoptions map[dnsmsg.Name]status.Adoption, res *DynamicsResult) dynamicsCursor {
-	base := e.resolver.Stats()
+// day (nextDay is the next loop index to run). baseStats is the
+// accounting this process inherited from the cursor it resumed from
+// (zero on a fresh campaign); folding it in keeps the recorded
+// BaseStats cumulative across any number of crash/resume cycles.
+func (d Dynamics) exportCursor(nextDay, randDraws int, e *dynamicsEnv, tracker *behavior.Tracker, adoptions map[dnsmsg.Name]status.Adoption, res *DynamicsResult, baseStats dnsresolver.QueryStats) dynamicsCursor {
+	base := baseStats.Add(e.resolver.Stats())
 	base.SidelineEvents = 0 // carried by the restored health tracker
 	cur := dynamicsCursor{
 		Kind:       cursorKindDynamics,
@@ -306,9 +314,11 @@ func (d Dynamics) exportCursor(nextDay, randDraws int, e *dynamicsEnv, tracker *
 
 // exportCursor captures the Residual campaign state after a completed
 // round. warmupRemaining is the warm-up still owed; nextWeek is the
-// next week to run (Weeks+1 when the campaign is done).
-func (r Residual) exportCursor(warmupRemaining, nextWeek int, e *residualEnv, res *ResidualResult) residualCursor {
-	base := e.resolver.Stats().Add(e.scanner.Stats())
+// next week to run (Weeks+1 when the campaign is done). baseStats is
+// the accounting inherited from the cursor this process resumed from
+// (zero on a fresh campaign), kept cumulative across restarts.
+func (r Residual) exportCursor(warmupRemaining, nextWeek int, e *residualEnv, res *ResidualResult, baseStats dnsresolver.QueryStats) residualCursor {
+	base := baseStats.Add(e.resolver.Stats().Add(e.scanner.Stats()))
 	base.SidelineEvents = 0 // carried by the restored health trackers
 	return residualCursor{
 		Kind:            cursorKindResidual,

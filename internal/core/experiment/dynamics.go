@@ -479,16 +479,17 @@ func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
 				}
 			}
 		}
-		if err := p.openWAL(); err != nil {
-			panic(fmt.Sprintf("experiment: %v", err))
-		}
 		if startDay > 0 {
 			// Re-establish the invariant (state = checkpoint + WAL) with a
-			// fresh checkpoint, so the replayed WAL days are not needed twice.
-			footer := encodeCursor(d.exportCursor(startDay, randDraws, e, tracker, adoptions, &res))
+			// fresh checkpoint — written before openWAL truncates the WAL,
+			// so a crash in between cannot discard the sealed days it held.
+			footer := encodeCursor(d.exportCursor(startDay, randDraws, e, tracker, adoptions, &res, baseStats))
 			if err := p.checkpointNow(e.w.Day(), store, footer); err != nil {
 				panic(fmt.Sprintf("experiment: %v", err))
 			}
+		}
+		if err := p.openWAL(); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
 		}
 	}
 
@@ -544,7 +545,7 @@ func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
 
 		randDraws += d.advance(e.w)
 		if p != nil {
-			footer := encodeCursor(d.exportCursor(day+1, randDraws, e, tracker, adoptions, &res))
+			footer := encodeCursor(d.exportCursor(day+1, randDraws, e, tracker, adoptions, &res, baseStats))
 			if err := p.sealRound(e.w.Day(), store, footer, day+1 == d.Days); err != nil {
 				panic(fmt.Sprintf("experiment: %v", err))
 			}

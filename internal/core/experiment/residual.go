@@ -393,16 +393,17 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 				}
 			}
 		}
-		if err := p.openWAL(); err != nil {
-			panic(fmt.Sprintf("experiment: %v", err))
-		}
 		if warmupRemaining < r.WarmupDays || startWeek > 1 {
 			// Re-establish the invariant (state = checkpoint + WAL) with a
-			// fresh checkpoint, so the replayed WAL days are not needed twice.
-			footer := encodeCursor(r.exportCursor(warmupRemaining, startWeek, e, &res))
+			// fresh checkpoint — written before openWAL truncates the WAL,
+			// so a crash in between cannot discard the sealed days it held.
+			footer := encodeCursor(r.exportCursor(warmupRemaining, startWeek, e, &res, baseStats))
 			if err := p.checkpointNow(w.Day(), store, footer); err != nil {
 				panic(fmt.Sprintf("experiment: %v", err))
 			}
+		}
+		if err := p.openWAL(); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
 		}
 	}
 
@@ -428,7 +429,7 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 	sealRound := func(warmupLeft, nextWeek int, force bool) (stop bool) {
 		rounds++
 		if p != nil {
-			footer := encodeCursor(r.exportCursor(warmupLeft, nextWeek, e, &res))
+			footer := encodeCursor(r.exportCursor(warmupLeft, nextWeek, e, &res, baseStats))
 			if err := p.sealRound(w.Day(), store, footer, force); err != nil {
 				panic(fmt.Sprintf("experiment: %v", err))
 			}

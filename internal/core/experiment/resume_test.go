@@ -137,6 +137,25 @@ func TestDynamicsResumeCorruptNewestCheckpoint(t *testing.T) {
 	diffResults(t, cfg.build(dir, true, 0).Run(), baseline)
 }
 
+// TestDynamicsResumeTwice kills the campaign twice — once in the
+// original run and once in the first resumed run — before letting a
+// second resume finish it. This pins that the cursor's BaseStats stays
+// cumulative across restarts: the first resume must fold the accounting
+// it inherited into every footer/checkpoint it writes, or the second
+// resume silently drops all pre-first-crash query accounting.
+func TestDynamicsResumeTwice(t *testing.T) {
+	cfg := dynCfg{sites: 300, seed: 8101, days: 8, every: 3}
+	baseline := cfg.build("", false, 0).Run()
+	for _, kills := range [][2]int{{2, 3}, {3, 2}, {1, 1}} {
+		t.Run(fmt.Sprintf("kill-after-%d-then-%d", kills[0], kills[1]), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg.build(dir, false, kills[0]).Run()
+			cfg.build(dir, true, kills[1]).Run()
+			diffResults(t, cfg.build(dir, true, 0).Run(), baseline)
+		})
+	}
+}
+
 func TestDynamicsResumeCompletedCampaignIsNoop(t *testing.T) {
 	cfg := dynCfg{sites: 250, seed: 8109, days: 6, every: 2}
 	dir := t.TempDir()
@@ -224,6 +243,22 @@ func TestResidualResumeMidRoundWALCut(t *testing.T) {
 			if err := os.Truncate(walPath, fi.Size()-int64(cut)); err != nil {
 				t.Fatal(err)
 			}
+			diffResults(t, cfg.build(dir, true, 0).Run(), baseline)
+		})
+	}
+}
+
+// TestResidualResumeTwice is the Residual double-kill counterpart: the
+// second resume only matches the uninterrupted baseline if the first
+// resume kept the inherited BaseStats in the cursors it wrote.
+func TestResidualResumeTwice(t *testing.T) {
+	cfg := resCfg{sites: 400, seed: 9001, weeks: 3, warmup: 14, incStart: 2, every: 7}
+	baseline := cfg.build("", false, 0).Run()
+	for _, kills := range [][2]int{{2, 2}, {1, 3}} {
+		t.Run(fmt.Sprintf("kill-after-%d-then-%d", kills[0], kills[1]), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg.build(dir, false, kills[0]).Run()
+			cfg.build(dir, true, kills[1]).Run()
 			diffResults(t, cfg.build(dir, true, 0).Run(), baseline)
 		})
 	}
