@@ -1,0 +1,52 @@
+# Developer entry points. CI (.github/workflows/ci.yml) calls these same
+# targets so local runs and the workflow agree on flags and tool versions.
+
+# Tool pins live in tools/tools.go; extract them so there is exactly one
+# place to bump a version.
+STATICCHECK_VERSION := $(shell sed -n 's/.*StaticcheckVersion = "\(.*\)".*/\1/p' tools/tools.go)
+GOVULNCHECK_VERSION := $(shell sed -n 's/.*GovulncheckVersion = "\(.*\)".*/\1/p' tools/tools.go)
+
+.PHONY: all build test race vet fmt-check staticcheck govulncheck lint \
+	bench bench-baseline bench-check
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; fi
+
+# `go run pkg@version` resolves the tool outside the module graph, so the
+# module itself stays zero-dependency.
+staticcheck:
+	go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	go run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+lint: vet fmt-check staticcheck
+
+# bench writes a fresh BENCH_resolve.json-shaped report without touching
+# the committed baseline; bench-check gates it the way CI does.
+bench:
+	scripts/bench.sh bench-fresh.json
+
+bench-check: bench
+	go run ./tools/benchjson -compare BENCH_resolve.json bench-fresh.json
+
+# bench-baseline refreshes the committed baseline in place. Run it on the
+# machine class the gate runs on (baselines encode absolute ns/op), then
+# commit the result with the change that moved the numbers.
+bench-baseline:
+	scripts/bench.sh BENCH_resolve.json

@@ -109,8 +109,16 @@ func NewScanner(vantage []*dnsresolver.Client) *Scanner {
 // the policy hedges, makes each scan query offer the next nameserver in
 // the rotation as a hedge candidate alongside its primary. Call between
 // scans, not mid-scan.
+//
+// The scanner pins SelectFirst regardless of the policy's Selection: its
+// own i-mod-n rotation already spreads load across the pool, and the
+// candidate pair it hands each exchange is an ordered (assigned, hedge
+// fallback) — letting a latency draw start at the fallback would defeat
+// the rotation and break the invariant that a no-retry scan's attempts
+// are a prefix of a retrying scan's.
 func (s *Scanner) SetPolicy(p dnsresolver.Policy) {
 	s.hedge = p.Hedge
+	p.Selection = dnsresolver.SelectFirst
 	for _, v := range s.vantage {
 		v.SetPolicy(p)
 	}

@@ -24,6 +24,19 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+func BenchmarkDecodeInto(b *testing.B) {
+	wire := MustEncode(sampleMessage())
+	var d Decoder
+	var m Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodeInto(wire, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEncodeQuery(b *testing.B) {
 	q := NewQuery(1, "www.example.com", TypeA)
 	b.ReportAllocs()
@@ -32,6 +45,16 @@ func BenchmarkEncodeQuery(b *testing.B) {
 		if _, err := Encode(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkEncoderEncodeQuery(b *testing.B) {
+	var e Encoder
+	name := MustParseName("www.example.com")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EncodeQuery(uint16(i), name, TypeA)
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"strings"
+	"sync"
 	"time"
 )
 
@@ -19,25 +19,77 @@ var (
 	ErrRDataLength   = errors.New("dnsmsg: rdata length mismatch")
 )
 
-type decoder struct {
+// maxInternedNames caps a Decoder's name-intern table. The simulated
+// Internet's name universe is bounded, so a campaign decoder never gets
+// near the cap; it exists so adversarial input (the fuzzer) cannot grow
+// one decoder without bound.
+const maxInternedNames = 1 << 16
+
+// Decoder parses wire-format messages, reusing scratch buffers and an
+// intern table of previously seen names across calls. A zero Decoder is
+// ready to use; it is not safe for concurrent use (pool one per goroutine
+// with AcquireDecoder/ReleaseDecoder).
+//
+// Interning is what makes steady-state decoding allocation-free: a
+// resolver decodes the same owner names, CNAME targets, and NS hostnames
+// millions of times per campaign, and each distinct name is materialized
+// as a Go string exactly once per decoder.
+type Decoder struct {
 	buf []byte
 	pos int
+
+	names   map[string]Name
+	scratch []byte
+
+	// Pre-boxed RData values, keyed by content. Storing a concrete rdata
+	// struct in the RData interface allocates; a campaign decodes the same
+	// few addresses and targets endlessly, so each distinct value is boxed
+	// once and reused. SOA/MX/TXT are rare enough to box per record.
+	aData     map[netip.Addr]RData
+	nsData    map[Name]RData
+	cnameData map[Name]RData
 }
+
+// decoderPool recycles decoders (and their intern tables) across queries.
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// AcquireDecoder returns a pooled decoder.
+func AcquireDecoder() *Decoder { return decoderPool.Get().(*Decoder) }
+
+// ReleaseDecoder returns d to the pool.
+func ReleaseDecoder(d *Decoder) { decoderPool.Put(d) }
 
 // Decode parses a wire-format DNS message. Records with unsupported types
 // yield ErrUnsupportedRR: the simulated Internet never emits them, so an
 // appearance is a corruption worth surfacing rather than skipping.
 func Decode(b []byte) (*Message, error) {
-	d := &decoder{buf: b}
+	d := AcquireDecoder()
+	defer ReleaseDecoder(d)
 	m := &Message{}
+	if err := d.DecodeInto(b, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses b into m, reusing m's section slices (they are
+// truncated and re-filled, so a long-lived caller-owned Message stops
+// allocating once its slices have grown to the working-set size). On error
+// m holds partially decoded content and must not be used.
+func (d *Decoder) DecodeInto(b []byte, m *Message) error {
+	d.buf, d.pos = b, 0
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
 
 	id, err := d.u16()
 	if err != nil {
-		return nil, fmt.Errorf("header: %w", err)
+		return fmt.Errorf("header: %w", err)
 	}
 	flags, err := d.u16()
 	if err != nil {
-		return nil, fmt.Errorf("header: %w", err)
+		return fmt.Errorf("header: %w", err)
 	}
 	m.Header = Header{
 		ID:                 id,
@@ -49,38 +101,38 @@ func Decode(b []byte) (*Message, error) {
 		RecursionAvailable: flags&(1<<7) != 0,
 		RCode:              RCode(flags & 0xF),
 	}
-	counts := make([]uint16, 4)
+	var counts [4]uint16
 	for i := range counts {
 		if counts[i], err = d.u16(); err != nil {
-			return nil, fmt.Errorf("header counts: %w", err)
+			return fmt.Errorf("header counts: %w", err)
 		}
 	}
 
 	for i := 0; i < int(counts[0]); i++ {
 		q, err := d.question()
 		if err != nil {
-			return nil, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		m.Questions = append(m.Questions, q)
 	}
-	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
-	names := []string{"answer", "authority", "additional"}
+	sections := [3]*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	names := [3]string{"answer", "authority", "additional"}
 	for s, dst := range sections {
 		for i := 0; i < int(counts[s+1]); i++ {
 			rr, err := d.rr()
 			if err != nil {
-				return nil, fmt.Errorf("%s %d: %w", names[s], i, err)
+				return fmt.Errorf("%s %d: %w", names[s], i, err)
 			}
 			*dst = append(*dst, rr)
 		}
 	}
 	if d.pos != len(d.buf) {
-		return nil, fmt.Errorf("%d bytes: %w", len(d.buf)-d.pos, ErrTrailingBytes)
+		return fmt.Errorf("%d bytes: %w", len(d.buf)-d.pos, ErrTrailingBytes)
 	}
-	return m, nil
+	return nil
 }
 
-func (d *decoder) u8() (uint8, error) {
+func (d *Decoder) u8() (uint8, error) {
 	if d.pos+1 > len(d.buf) {
 		return 0, ErrShortMessage
 	}
@@ -89,7 +141,7 @@ func (d *decoder) u8() (uint8, error) {
 	return v, nil
 }
 
-func (d *decoder) u16() (uint16, error) {
+func (d *Decoder) u16() (uint16, error) {
 	if d.pos+2 > len(d.buf) {
 		return 0, ErrShortMessage
 	}
@@ -98,7 +150,7 @@ func (d *decoder) u16() (uint16, error) {
 	return v, nil
 }
 
-func (d *decoder) u32() (uint32, error) {
+func (d *Decoder) u32() (uint32, error) {
 	if d.pos+4 > len(d.buf) {
 		return 0, ErrShortMessage
 	}
@@ -107,7 +159,7 @@ func (d *decoder) u32() (uint32, error) {
 	return v, nil
 }
 
-func (d *decoder) take(n int) ([]byte, error) {
+func (d *Decoder) take(n int) ([]byte, error) {
 	if n < 0 || d.pos+n > len(d.buf) {
 		return nil, ErrShortMessage
 	}
@@ -117,25 +169,90 @@ func (d *decoder) take(n int) ([]byte, error) {
 }
 
 // name reads a possibly-compressed name starting at the current position.
-func (d *decoder) name() (Name, error) {
-	labels, next, err := readName(d.buf, d.pos)
+// The raw labels are gathered into the decoder's scratch buffer (dotted,
+// as ParseName would see them), normalized, then interned so repeated
+// names cost no allocation.
+func (d *Decoder) name() (Name, error) {
+	next, err := d.readNameScratch(d.pos)
 	if err != nil {
 		return "", err
 	}
 	d.pos = next
-	joined := strings.Join(labels, ".")
-	return ParseName(joined)
+
+	s := d.scratch
+	// ParseName semantics: one trailing dot is accepted and trimmed. A
+	// dotted join of wire labels ends with '.' only when the final label
+	// itself does.
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	if len(s) == 0 {
+		return "", nil
+	}
+
+	// Fast path: pure-ASCII names are normalized in place and validated in
+	// one scan. Anything with high bytes falls back to ParseName, whose
+	// Unicode-aware lowercasing is the historical behaviour.
+	ascii := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			ascii = false
+			break
+		}
+		if c >= 'A' && c <= 'Z' {
+			s[i] = c + ('a' - 'A')
+		}
+	}
+	if !ascii {
+		return ParseName(string(s))
+	}
+	if len(s) > 253 {
+		return "", fmt.Errorf("parsing %q: %w", s, ErrNameTooLong)
+	}
+	labelLen := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if labelLen == 0 {
+				return "", fmt.Errorf("parsing %q: %w", s, ErrEmptyLabel)
+			}
+			if labelLen > 63 {
+				return "", fmt.Errorf("parsing %q: %w", s, ErrLabelTooLong)
+			}
+			labelLen = 0
+			continue
+		}
+		labelLen++
+	}
+	return d.intern(s), nil
 }
 
-// readName walks labels and compression pointers from off, returning the
-// labels and the offset just past the name's in-place representation.
-func readName(buf []byte, off int) (labels []string, next int, err error) {
+// intern returns the canonical Name for the normalized bytes in s,
+// allocating the backing string only on first sight.
+func (d *Decoder) intern(s []byte) Name {
+	if n, ok := d.names[string(s)]; ok {
+		return n
+	}
+	if d.names == nil || len(d.names) >= maxInternedNames {
+		d.names = make(map[string]Name)
+	}
+	n := Name(s)
+	d.names[string(n)] = n
+	return n
+}
+
+// readNameScratch walks labels and compression pointers from off into
+// d.scratch as a dotted string, returning the offset just past the name's
+// in-place representation.
+func (d *Decoder) readNameScratch(off int) (next int, err error) {
 	const maxHops = 64 // more pointer hops than any legal message needs
+	buf := d.buf
+	d.scratch = d.scratch[:0]
 	hops := 0
 	next = -1
 	for {
 		if off >= len(buf) {
-			return nil, 0, ErrShortMessage
+			return 0, ErrShortMessage
 		}
 		b := buf[off]
 		switch {
@@ -143,37 +260,40 @@ func readName(buf []byte, off int) (labels []string, next int, err error) {
 			if next < 0 {
 				next = off + 1
 			}
-			return labels, next, nil
+			return next, nil
 		case b&0xC0 == 0xC0:
 			if off+2 > len(buf) {
-				return nil, 0, ErrShortMessage
+				return 0, ErrShortMessage
 			}
 			ptr := int(binary.BigEndian.Uint16(buf[off:]) & 0x3FFF)
 			if next < 0 {
 				next = off + 2
 			}
 			if ptr >= off {
-				return nil, 0, fmt.Errorf("pointer to %d at %d: %w", ptr, off, ErrBadPointer)
+				return 0, fmt.Errorf("pointer to %d at %d: %w", ptr, off, ErrBadPointer)
 			}
 			hops++
 			if hops > maxHops {
-				return nil, 0, ErrPointerLoop
+				return 0, ErrPointerLoop
 			}
 			off = ptr
 		case b&0xC0 != 0:
-			return nil, 0, fmt.Errorf("label tag %#x: %w", b, ErrBadPointer)
+			return 0, fmt.Errorf("label tag %#x: %w", b, ErrBadPointer)
 		default:
 			l := int(b)
 			if off+1+l > len(buf) {
-				return nil, 0, ErrShortMessage
+				return 0, ErrShortMessage
 			}
-			labels = append(labels, string(buf[off+1:off+1+l]))
+			if len(d.scratch) > 0 {
+				d.scratch = append(d.scratch, '.')
+			}
+			d.scratch = append(d.scratch, buf[off+1:off+1+l]...)
 			off += 1 + l
 		}
 	}
 }
 
-func (d *decoder) question() (Question, error) {
+func (d *Decoder) question() (Question, error) {
 	n, err := d.name()
 	if err != nil {
 		return Question{}, err
@@ -189,7 +309,7 @@ func (d *decoder) question() (Question, error) {
 	return Question{Name: n, Type: Type(t), Class: Class(c)}, nil
 }
 
-func (d *decoder) rr() (RR, error) {
+func (d *Decoder) rr() (RR, error) {
 	name, err := d.name()
 	if err != nil {
 		return RR{}, err
@@ -222,19 +342,44 @@ func (d *decoder) rr() (RR, error) {
 		if err != nil {
 			return RR{}, err
 		}
-		data = AData{Addr: netip.AddrFrom4([4]byte(raw))}
+		addr := netip.AddrFrom4([4]byte(raw))
+		if v, ok := d.aData[addr]; ok {
+			data = v
+		} else {
+			if d.aData == nil || len(d.aData) >= maxInternedNames {
+				d.aData = make(map[netip.Addr]RData)
+			}
+			data = AData{Addr: addr}
+			d.aData[addr] = data
+		}
 	case TypeNS:
 		host, err := d.name()
 		if err != nil {
 			return RR{}, err
 		}
-		data = NSData{Host: host}
+		if v, ok := d.nsData[host]; ok {
+			data = v
+		} else {
+			if d.nsData == nil || len(d.nsData) >= maxInternedNames {
+				d.nsData = make(map[Name]RData)
+			}
+			data = NSData{Host: host}
+			d.nsData[host] = data
+		}
 	case TypeCNAME:
 		target, err := d.name()
 		if err != nil {
 			return RR{}, err
 		}
-		data = CNAMEData{Target: target}
+		if v, ok := d.cnameData[target]; ok {
+			data = v
+		} else {
+			if d.cnameData == nil || len(d.cnameData) >= maxInternedNames {
+				d.cnameData = make(map[Name]RData)
+			}
+			data = CNAMEData{Target: target}
+			d.cnameData[target] = data
+		}
 	case TypeSOA:
 		var soa SOAData
 		if soa.MName, err = d.name(); err != nil {
@@ -278,7 +423,16 @@ func (d *decoder) rr() (RR, error) {
 		if err != nil {
 			return RR{}, err
 		}
-		data = AAAAData{Addr: netip.AddrFrom16([16]byte(raw))}
+		addr := netip.AddrFrom16([16]byte(raw))
+		if v, ok := d.aData[addr]; ok {
+			data = v
+		} else {
+			if d.aData == nil || len(d.aData) >= maxInternedNames {
+				d.aData = make(map[netip.Addr]RData)
+			}
+			data = AAAAData{Addr: addr}
+			d.aData[addr] = data
+		}
 	default:
 		return RR{}, fmt.Errorf("type %s: %w", Type(t), ErrUnsupportedRR)
 	}

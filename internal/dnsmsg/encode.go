@@ -3,27 +3,83 @@ package dnsmsg
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 )
 
 // maxTTLSeconds caps encoded TTLs at the RFC 2181 maximum.
 const maxTTLSeconds = 1<<31 - 1
 
-// encoder serializes a message with RFC 1035 name compression.
-type encoder struct {
+// Encoder serializes messages with RFC 1035 name compression, reusing its
+// output buffer and compression table across calls. A zero Encoder is
+// ready to use; it is not safe for concurrent use (pool one per goroutine
+// with AcquireEncoder/ReleaseEncoder).
+type Encoder struct {
 	buf []byte
+	// base is the index in buf where the current message starts; name
+	// compression offsets are message-relative (EncodeAppend can target a
+	// non-empty caller buffer).
+	base int
 	// offsets remembers where each (sub)name was written so later
 	// occurrences can emit a compression pointer.
 	offsets map[Name]int
+
+	// Query scratch for alloc-free query encoding.
+	qmsg Message
+	qs   [1]Question
 }
 
-// Encode serializes m to wire format.
-func Encode(m *Message) ([]byte, error) {
-	e := &encoder{
-		buf:     make([]byte, 0, 512),
-		offsets: make(map[Name]int),
-	}
+// encoderPool recycles encoders (buffer + compression table) across the
+// send-heavy paths: a campaign encodes millions of queries, all of which
+// fit the same small buffer.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
 
+// AcquireEncoder returns a pooled encoder. Release it with ReleaseEncoder
+// when the encoded bytes are no longer referenced.
+func AcquireEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// ReleaseEncoder returns e to the pool.
+func ReleaseEncoder(e *Encoder) { encoderPool.Put(e) }
+
+// reset prepares the encoder for a new message.
+func (e *Encoder) reset() {
+	e.buf = e.buf[:0]
+	e.base = 0
+	if e.offsets == nil {
+		e.offsets = make(map[Name]int)
+	} else {
+		clear(e.offsets)
+	}
+}
+
+// Encode serializes m into the encoder's internal buffer and returns it.
+// The returned slice is valid only until the encoder's next call (copy it
+// to retain).
+func (e *Encoder) Encode(m *Message) ([]byte, error) {
+	e.reset()
+	return e.encode(m)
+}
+
+// EncodeAppend serializes m appended to dst (which may be nil) and returns
+// the extended slice. The encoder keeps no reference to dst afterwards;
+// its own internal buffer is untouched.
+func (e *Encoder) EncodeAppend(dst []byte, m *Message) ([]byte, error) {
+	saved := e.buf
+	e.buf = dst
+	e.base = len(dst)
+	if e.offsets == nil {
+		e.offsets = make(map[Name]int)
+	} else {
+		clear(e.offsets)
+	}
+	out, err := e.encode(m)
+	e.buf = saved
+	e.base = 0
+	return out, err
+}
+
+func (e *Encoder) encode(m *Message) ([]byte, error) {
 	var flags uint16
 	if m.Header.Response {
 		flags |= 1 << 15
@@ -65,6 +121,38 @@ func Encode(m *Message) ([]byte, error) {
 	return e.buf, nil
 }
 
+// EncodeQuery encodes a standard recursion-desired query for (name, qtype)
+// without building a Message, reusing the encoder's scratch. The returned
+// slice is valid only until the encoder's next call.
+func (e *Encoder) EncodeQuery(id uint16, name Name, qtype Type) []byte {
+	e.qs[0] = Question{Name: name, Type: qtype, Class: ClassIN}
+	e.qmsg = Message{
+		Header: Header{
+			ID:               id,
+			Opcode:           OpcodeQuery,
+			RecursionDesired: true,
+		},
+		Questions: e.qs[:1],
+	}
+	// A query has no RRs, so Encode cannot fail.
+	b, err := e.Encode(&e.qmsg)
+	if err != nil {
+		panic(fmt.Sprintf("dnsmsg: %v", err))
+	}
+	return b
+}
+
+// Encode serializes m to wire format in a freshly allocated buffer.
+func Encode(m *Message) ([]byte, error) {
+	e := AcquireEncoder()
+	defer ReleaseEncoder(e)
+	b, err := e.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
 // MustEncode is Encode but panics on error; for messages built from
 // validated parts.
 func MustEncode(m *Message) []byte {
@@ -75,22 +163,24 @@ func MustEncode(m *Message) []byte {
 	return b
 }
 
-func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
-func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
-func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *Encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *Encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *Encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
 
 // name writes a possibly-compressed domain name.
-func (e *encoder) name(n Name) {
+func (e *Encoder) name(n Name) {
 	for !n.IsRoot() {
 		if off, ok := e.offsets[n]; ok && off <= 0x3FFF {
 			e.u16(0xC000 | uint16(off))
 			return
 		}
-		if len(e.buf) <= 0x3FFF {
-			e.offsets[n] = len(e.buf)
+		if off := len(e.buf) - e.base; off <= 0x3FFF {
+			e.offsets[n] = off
 		}
-		labels := n.Labels()
-		label := labels[0]
+		label := string(n)
+		if i := strings.IndexByte(label, '.'); i >= 0 {
+			label = label[:i]
+		}
 		e.u8(uint8(len(label)))
 		e.buf = append(e.buf, label...)
 		n = n.Parent()
@@ -98,7 +188,7 @@ func (e *encoder) name(n Name) {
 	e.u8(0)
 }
 
-func (e *encoder) rr(rr RR) error {
+func (e *Encoder) rr(rr RR) error {
 	if rr.Data == nil {
 		return fmt.Errorf("encoding %s: nil rdata", rr.Name)
 	}

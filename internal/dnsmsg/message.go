@@ -106,6 +106,26 @@ func NewResponse(query *Message, rcode RCode) *Message {
 	return resp
 }
 
+// Clone returns a deep-enough copy of m: the header and fresh section
+// slices. RRs themselves are value types (their RData implementations are
+// immutable), so element sharing is safe.
+func (m *Message) Clone() *Message {
+	out := &Message{Header: m.Header}
+	if len(m.Questions) > 0 {
+		out.Questions = append([]Question(nil), m.Questions...)
+	}
+	if len(m.Answers) > 0 {
+		out.Answers = append([]RR(nil), m.Answers...)
+	}
+	if len(m.Authority) > 0 {
+		out.Authority = append([]RR(nil), m.Authority...)
+	}
+	if len(m.Additional) > 0 {
+		out.Additional = append([]RR(nil), m.Additional...)
+	}
+	return out
+}
+
 // Question returns the first question, or a zero Question when absent.
 func (m *Message) Question() Question {
 	if len(m.Questions) == 0 {

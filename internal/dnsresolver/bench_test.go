@@ -55,3 +55,81 @@ func BenchmarkResolveCrossZoneCNAME(b *testing.B) {
 		}
 	}
 }
+
+// dropAnswer evicts just (name, qtype)'s answer entry, leaving delegation
+// and host-address entries warm — the steady-state miss a capped cache
+// produces mid-campaign.
+func dropAnswer(r *Resolver, name dnsmsg.Name, qtype dnsmsg.Type) {
+	key := cacheKey{name: name, qtype: qtype}
+	s := &r.cache.shards[shardIndex(name)]
+	s.mu.Lock()
+	if slot, ok := s.answers[key]; ok {
+		s.deleteEntry(slot.node)
+	}
+	s.mu.Unlock()
+}
+
+// BenchmarkResolveCached is the hot path the CI bench gate pins at zero
+// allocations: a resolve served entirely from the answer cache.
+func BenchmarkResolveCached(b *testing.B) {
+	f := newFixture(b)
+	if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveUncached is the answer-cache-miss path with warm
+// delegations: one authoritative exchange plus the re-cache of its
+// answer, the steady-state cost after a capped cache evicts an entry.
+func BenchmarkResolveUncached(b *testing.B) {
+	f := newFixture(b)
+	if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dropAnswer(f.resolver, "www.example.com", dnsmsg.TypeA)
+		if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestResolveAllocBudget pins the allocs/op budget the CI bench gate
+// enforces: the cached path allocates nothing, the uncached path at most
+// 4 per op. A regression here is a correctness failure, not a perf note —
+// the zero-alloc hot path is this PR's contract.
+func TestResolveAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the budget is enforced by the non-race run")
+	}
+	f := newFixture(t)
+	if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	cached := testing.AllocsPerRun(200, func() {
+		if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if cached != 0 {
+		t.Errorf("cached resolve: %.1f allocs/op, want 0", cached)
+	}
+	uncached := testing.AllocsPerRun(200, func() {
+		dropAnswer(f.resolver, "www.example.com", dnsmsg.TypeA)
+		if _, err := f.resolver.Resolve("www.example.com", dnsmsg.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if uncached > 4 {
+		t.Errorf("uncached resolve: %.1f allocs/op, want <= 4", uncached)
+	}
+}

@@ -17,7 +17,7 @@ func cacheTestName(i int) dnsmsg.Name {
 // TestCacheShardRouting checks that every entry kind round-trips through
 // the sharded store and that distinct names actually spread across stripes.
 func TestCacheShardRouting(t *testing.T) {
-	c := newCache()
+	c := newCache(0)
 	now := time.Unix(1000, 0)
 	hit := make(map[*cacheShard]bool)
 	for i := 0; i < 256; i++ {
@@ -47,7 +47,7 @@ func TestCacheShardRouting(t *testing.T) {
 // TestCacheLenAcrossShards checks the Len sum is consistent with the
 // number of live entries spread over all stripes, including expiry.
 func TestCacheLenAcrossShards(t *testing.T) {
-	c := newCache()
+	c := newCache(0)
 	now := time.Unix(1000, 0)
 	const n = 100
 	for i := 0; i < n; i++ {
@@ -74,7 +74,7 @@ func TestCacheLenAcrossShards(t *testing.T) {
 // closestDelegation from many goroutines. The race detector covers the
 // striping; the value checks cover torn reads.
 func TestCacheConcurrentStress(t *testing.T) {
-	c := newCache()
+	c := newCache(0)
 	now := time.Unix(1000, 0)
 	addrOf := func(i int) netip.Addr {
 		return netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)})

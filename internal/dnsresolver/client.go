@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/netsim"
@@ -17,21 +19,22 @@ import (
 //
 // The client is the resilience layer of the measurement stack: a Policy
 // drives retries with deterministic backoff, a Health tracker sidelines
-// nameservers that keep timing out, and QueryStats accounts for every
-// attempt. Query IDs are a seeded hash of the query identity rather than
-// RNG draws, so two runs issuing the same logical queries put
-// byte-identical payloads on the wire regardless of goroutine scheduling
-// — the property the fabric's content-hashed fault plan and the
-// ParallelMatchesSerial guarantee both build on.
+// nameservers that keep timing out and ranks the rest by EWMA RTT, and
+// QueryStats accounts for every attempt. Query IDs are a seeded hash of
+// the query identity rather than RNG draws, so two runs issuing the same
+// logical queries put byte-identical payloads on the wire regardless of
+// goroutine scheduling — the property the fabric's content-hashed fault
+// plan and the ParallelMatchesSerial guarantee both build on.
 type Client struct {
 	net    *netsim.Network
 	addr   netip.Addr
 	region netsim.Region
 	idSeed int64
 
-	mu     sync.Mutex
-	policy Policy
-	obs    *clientObs
+	// policy and obs are atomic pointers so the per-query hot path loads
+	// them without a mutex round-trip (they change only between passes).
+	policy atomic.Pointer[Policy]
+	obs    atomic.Pointer[clientObs]
 
 	health *Health
 	stats  statsCounters
@@ -45,14 +48,16 @@ func NewClient(net *netsim.Network, addr netip.Addr, region netsim.Region, rng *
 	if net == nil || rng == nil {
 		panic("dnsresolver: NewClient requires network and rng")
 	}
-	return &Client{
+	c := &Client{
 		net:    net,
 		addr:   addr,
 		region: region,
 		idSeed: rng.Int63(),
-		policy: NoRetryPolicy().normalized(),
 		health: NewHealth(),
 	}
+	p := NoRetryPolicy().normalized()
+	c.policy.Store(&p)
+	return c
 }
 
 // Addr returns the client's source address.
@@ -64,25 +69,23 @@ func (c *Client) Region() netsim.Region { return c.region }
 // SetPolicy installs the retry policy. Call it between passes, not while
 // queries are in flight elsewhere, if deterministic accounting matters.
 func (c *Client) SetPolicy(p Policy) {
-	c.mu.Lock()
-	c.policy = p.normalized()
-	c.mu.Unlock()
+	p = p.normalized()
+	c.policy.Store(&p)
 }
 
 // Policy returns the active policy.
 func (c *Client) Policy() Policy {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.policy
+	return *c.policy.Load()
 }
 
 // Health returns the client's nameserver health tracker.
 func (c *Client) Health() *Health { return c.health }
 
 // Checkpoint folds the current pass's health observations into sideline
-// decisions. The measurement loops call it at pass boundaries while the
-// fabric is quiescent; within a pass the sideline set is frozen, which
-// keeps server selection independent of query interleaving.
+// decisions and EWMA-RTT estimates. The measurement loops call it at pass
+// boundaries while the fabric is quiescent; within a pass the sideline
+// set and the RTT estimates are frozen, which keeps server selection
+// independent of query interleaving.
 func (c *Client) Checkpoint() { c.health.Checkpoint(c.Policy()) }
 
 // Stats returns a snapshot of the client's resilience accounting.
@@ -104,6 +107,20 @@ var (
 	ErrNoServers = errors.New("dnsresolver: no servers to query")
 )
 
+// exchangeScratch bundles the reusable codec state one in-flight exchange
+// needs: the query encoder, a receive buffer the fabric appends responses
+// into, and the decoder plus response message it decodes into. The resolver
+// keeps one per recursion depth; the public Exchange entry points pool
+// them.
+type exchangeScratch struct {
+	enc  dnsmsg.Encoder
+	dec  dnsmsg.Decoder
+	resp dnsmsg.Message
+	recv []byte
+}
+
+var exchangeScratchPool = sync.Pool{New: func() any { return new(exchangeScratch) }}
+
 // Exchange queries (name, qtype) against a single server under the
 // client's policy: up to Policy.MaxAttempts attempts with deterministic
 // backoff accounting, retrying timeouts and corrupt replies but never
@@ -114,41 +131,59 @@ func (c *Client) Exchange(server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type
 
 // ExchangeAny queries (name, qtype) against a candidate server set.
 // Sidelined servers are filtered out first (unless that would leave
-// none); attempts then rotate through the remaining candidates starting
-// at the first, with a total budget of max(Policy.MaxAttempts,
-// candidates) so every candidate is tried at least once. An attempt on a
-// server other than the first candidate is a hedge in the accounting.
+// none); the policy's Selection strategy picks the starting candidate
+// (power-of-two-choices over EWMA RTT by default); attempts then rotate
+// through the remaining candidates from there, with a total budget of
+// max(Policy.MaxAttempts, candidates) so every candidate is tried at
+// least once. An attempt on a server other than the selected primary is a
+// hedge in the accounting.
 func (c *Client) ExchangeAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
+	sc := exchangeScratchPool.Get().(*exchangeScratch)
+	resp, err := c.exchangeAny(sc, servers, name, qtype)
+	if resp != nil {
+		// The scratch-backed message goes back into the pool; callers get a
+		// private copy.
+		resp = resp.Clone()
+	}
+	exchangeScratchPool.Put(sc)
+	return resp, err
+}
+
+// exchangeAny is ExchangeAny against caller-owned scratch. The returned
+// message aliases sc and is valid only until sc's next use.
+func (c *Client) exchangeAny(sc *exchangeScratch, servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("exchange %s %s: %w", name, qtype, ErrNoServers)
 	}
-	p := c.Policy()
-	o := c.observer()
-	cands := c.health.filterAvailable(servers)
+	p := c.policy.Load()
+	o := c.obs.Load()
+	cands, start := c.health.planExchange(p.Selection, c.idSeed, servers, name, qtype)
 	budget := p.MaxAttempts
 	if len(cands) > budget {
 		budget = len(cands)
 	}
+	primary := cands[start]
 
 	c.stats.queries.Add(1)
 	o.observeQuery()
 	var lastErr error
 	for attempt := 1; attempt <= budget; attempt++ {
-		server := cands[(attempt-1)%len(cands)]
+		server := cands[(start+attempt-1)%len(cands)]
 		if attempt > 1 {
 			backoff := p.Backoff(c.idSeed, server, name, qtype, attempt)
 			c.stats.retries.Add(1)
 			c.stats.backoffNanos.Add(int64(backoff))
 			o.observeRetry(backoff)
 		}
-		if server != cands[0] {
+		if server != primary {
 			c.stats.hedges.Add(1)
 			o.observeHedge()
 		}
 
-		resp, err := c.attempt(o, server, name, qtype, attempt)
+		resp, rtt, err := c.attempt(sc, o, server, name, qtype, attempt)
 		if err == nil {
 			c.health.ObserveSuccess(server)
+			c.health.ObserveRTT(server, rtt)
 			if attempt > 1 {
 				c.stats.recovered.Add(1)
 			}
@@ -184,29 +219,35 @@ func (c *Client) ExchangeAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsms
 	return nil, lastErr
 }
 
-// attempt performs one wire exchange. The query ID is a hash of the query
-// identity and attempt number: deterministic across runs, distinct across
-// a query's attempts (each retry re-rolls the fabric's fault decisions).
-func (c *Client) attempt(o *clientObs, server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type, attempt int) (*dnsmsg.Message, error) {
+// attempt performs one wire exchange through sc's reusable buffers. The
+// query ID is a hash of the query identity and attempt number:
+// deterministic across runs, distinct across a query's attempts (each
+// retry re-rolls the fabric's fault decisions). The returned message
+// aliases sc.
+func (c *Client) attempt(sc *exchangeScratch, o *clientObs, server netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type, attempt int) (*dnsmsg.Message, time.Duration, error) {
 	c.stats.attempts.Add(1)
 	o.observeAttempt()
 	id := uint16(queryHash(c.idSeed, server, name, qtype, attempt))
-	query := dnsmsg.NewQuery(id, name, qtype)
-	wire := dnsmsg.MustEncode(query)
+	wire := sc.enc.EncodeQuery(id, name, qtype)
 	ep := netsim.Endpoint{Addr: server, Port: netsim.PortDNS}
-	raw, err := c.net.Send(c.addr, c.region, ep, wire)
-	if err != nil {
-		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, err)
+	raw, rtt, err := c.net.Exchange(c.addr, c.region, ep, wire, sc.recv)
+	if raw != nil {
+		// Exchange appends into sc.recv (or a growth of it); keep whatever
+		// backing array came back for the next attempt.
+		sc.recv = raw[:0]
 	}
-	resp, err := dnsmsg.Decode(raw)
 	if err != nil {
-		return nil, fmt.Errorf("exchange %s %s with %s: %w: %v", name, qtype, server, ErrCorruptReply, err)
+		return nil, 0, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, err)
 	}
+	if err := sc.dec.DecodeInto(raw, &sc.resp); err != nil {
+		return nil, 0, fmt.Errorf("exchange %s %s with %s: %w: %v", name, qtype, server, ErrCorruptReply, err)
+	}
+	resp := &sc.resp
 	if resp.Header.ID != id || !resp.Header.Response {
-		return nil, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, ErrBadResponse)
+		return nil, 0, fmt.Errorf("exchange %s %s with %s: %w", name, qtype, server, ErrBadResponse)
 	}
 	if q := resp.Question(); q.Name != name || q.Type != qtype {
-		return nil, fmt.Errorf("exchange %s %s with %s: question mismatch: %w", name, qtype, server, ErrBadResponse)
+		return nil, 0, fmt.Errorf("exchange %s %s with %s: question mismatch: %w", name, qtype, server, ErrBadResponse)
 	}
-	return resp, nil
+	return resp, rtt, nil
 }

@@ -4,6 +4,22 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"time"
+
+	"rrdps/internal/dnsmsg"
+)
+
+// EWMA-RTT parameters for latency-adaptive selection.
+const (
+	// rttEwmaDecay is the smoothing divisor for folding a pass's observed
+	// RTT into the running estimate (the dnscrypt-proxy value: each pass
+	// moves the estimate 1/10th of the way to the new observation).
+	rttEwmaDecay = 10.0
+	// rttTimeoutPenalty is the RTT charged to a server whose pass produced
+	// only timeouts — well above any real simulated RTT, so persistent
+	// timeouts push a server's estimate toward the back of the pack even
+	// before sidelining kicks in.
+	rttTimeoutPenalty = time.Second
 )
 
 // Health tracks per-nameserver availability from observed query outcomes
@@ -30,13 +46,19 @@ type Health struct {
 }
 
 type healthEntry struct {
-	// Current-pass observations (set union; order-independent).
+	// Current-pass observations (set union / min; order-independent).
 	sawSuccess bool
 	sawTimeout bool
+	// passMinRTT is the smallest RTT observed this pass (0 = none). Min is
+	// the fold that keeps serial≡parallel: racing workers may duplicate a
+	// logical query, but duplicates carry identical content-hashed RTTs,
+	// so the pass minimum is the same set function either way.
+	passMinRTT time.Duration
 	// Folded state, mutated only in Checkpoint.
 	consecBadPasses int
 	sidelinedFor    int
-	sidelined       uint64 // times this server was sidelined
+	sidelined       uint64  // times this server was sidelined
+	ewmaRTT         float64 // smoothed RTT estimate in nanoseconds; 0 = none
 }
 
 // NewHealth creates an empty tracker.
@@ -67,6 +89,31 @@ func (h *Health) ObserveTimeout(addr netip.Addr) {
 	h.mu.Unlock()
 }
 
+// ObserveRTT records the round-trip time of a successful exchange with
+// addr this pass. Only the pass minimum is kept.
+func (h *Health) ObserveRTT(addr netip.Addr, rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	h.mu.Lock()
+	e := h.entry(addr)
+	if e.passMinRTT == 0 || rtt < e.passMinRTT {
+		e.passMinRTT = rtt
+	}
+	h.mu.Unlock()
+}
+
+// EwmaRTT returns the current smoothed RTT estimate for addr (0 when the
+// tracker has no estimate yet). The estimate changes only at Checkpoint.
+func (h *Health) EwmaRTT(addr netip.Addr) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.entries[addr]; ok {
+		return time.Duration(e.ewmaRTT)
+	}
+	return 0
+}
+
 // Available reports whether addr is selectable (not sidelined). Unknown
 // servers are available.
 func (h *Health) Available(addr netip.Addr) bool {
@@ -88,8 +135,18 @@ func (h *Health) Checkpoint(p Policy) {
 			// Sitting out; observations (there should be none unless every
 			// candidate was sidelined) don't count against the sentence.
 			e.sidelinedFor--
-			e.sawSuccess, e.sawTimeout = false, false
+			e.sawSuccess, e.sawTimeout, e.passMinRTT = false, false, 0
 			continue
+		}
+		// Fold the pass's RTT evidence into the smoothed estimate: the
+		// pass-minimum when the server answered, a penalty charge when it
+		// only timed out. Both are order-independent summaries, so the
+		// post-checkpoint estimate is too.
+		switch {
+		case e.passMinRTT > 0:
+			e.foldRTT(float64(e.passMinRTT))
+		case e.sawTimeout:
+			e.foldRTT(float64(rttTimeoutPenalty))
 		}
 		switch {
 		case e.sawSuccess:
@@ -103,8 +160,18 @@ func (h *Health) Checkpoint(p Policy) {
 				h.events++
 			}
 		}
-		e.sawSuccess, e.sawTimeout = false, false
+		e.sawSuccess, e.sawTimeout, e.passMinRTT = false, false, 0
 	}
+}
+
+// foldRTT moves the EWMA estimate 1/rttEwmaDecay of the way toward x
+// (nanoseconds); the first observation seeds it outright.
+func (e *healthEntry) foldRTT(x float64) {
+	if e.ewmaRTT == 0 {
+		e.ewmaRTT = x
+		return
+	}
+	e.ewmaRTT += (x - e.ewmaRTT) / rttEwmaDecay
 }
 
 // Sidelined returns the currently sidelined server addresses, sorted.
@@ -137,7 +204,9 @@ type HealthState struct {
 	Events  uint64
 }
 
-// HealthEntryState is one server's health record.
+// HealthEntryState is one server's health record. The RTT fields were
+// added with EWMA selection; checkpoints written before then decode with
+// zero values, which the tracker treats as "no estimate yet".
 type HealthEntryState struct {
 	Addr            netip.Addr
 	SawSuccess      bool
@@ -145,6 +214,8 @@ type HealthEntryState struct {
 	ConsecBadPasses int
 	SidelinedFor    int
 	Sidelined       uint64
+	PassMinRTT      time.Duration `json:",omitempty"`
+	EwmaRTT         float64       `json:",omitempty"`
 }
 
 // ExportState captures the tracker's state, entries sorted by address
@@ -161,6 +232,8 @@ func (h *Health) ExportState() HealthState {
 			ConsecBadPasses: e.consecBadPasses,
 			SidelinedFor:    e.sidelinedFor,
 			Sidelined:       e.sidelined,
+			PassMinRTT:      e.passMinRTT,
+			EwmaRTT:         e.ewmaRTT,
 		})
 	}
 	sort.Slice(st.Entries, func(i, j int) bool { return st.Entries[i].Addr.Less(st.Entries[j].Addr) })
@@ -179,9 +252,11 @@ func (h *Health) RestoreState(st HealthState) {
 		h.entries[e.Addr] = &healthEntry{
 			sawSuccess:      e.SawSuccess,
 			sawTimeout:      e.SawTimeout,
+			passMinRTT:      e.PassMinRTT,
 			consecBadPasses: e.ConsecBadPasses,
 			sidelinedFor:    e.SidelinedFor,
 			sidelined:       e.Sidelined,
+			ewmaRTT:         e.EwmaRTT,
 		}
 	}
 }
@@ -192,6 +267,22 @@ func (h *Health) RestoreState(st HealthState) {
 func (h *Health) filterAvailable(servers []netip.Addr) []netip.Addr {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.filterAvailableLocked(servers)
+}
+
+func (h *Health) filterAvailableLocked(servers []netip.Addr) []netip.Addr {
+	// Common case first: nothing sidelined means servers passes through
+	// without a copy — the resolve hot path never pays for the rare one.
+	sidelined := false
+	for _, s := range servers {
+		if e, ok := h.entries[s]; ok && e.sidelinedFor > 0 {
+			sidelined = true
+			break
+		}
+	}
+	if !sidelined {
+		return servers
+	}
 	avail := servers[:0:0]
 	for _, s := range servers {
 		if e, ok := h.entries[s]; !ok || e.sidelinedFor == 0 {
@@ -202,4 +293,66 @@ func (h *Health) filterAvailable(servers []netip.Addr) []netip.Addr {
 		return servers
 	}
 	return avail
+}
+
+// planExchange filters sidelined servers and picks the starting candidate
+// index per the policy's selection strategy, under one lock acquisition.
+//
+// With SelectP2C the two "choices" are the candidates with the top two
+// rendezvous weights — each server's weight is a hash of (seed, server,
+// query identity), computed per candidate rather than by indexing into
+// the list — and the lower EWMA-RTT estimate wins. A server without an
+// estimate (EWMA 0) beats any measured one so unexplored servers get
+// measured; ties resolve to the higher rendezvous weight. Two properties
+// follow:
+//
+//   - Estimates only move at Checkpoint, so within a pass the pick is a
+//     pure function of the query identity — independent of scheduling.
+//   - Weights attach to servers, not list positions, so when two runs see
+//     slightly different candidate sets for the same logical query (host
+//     addresses can be warmth-dependent: one run resolves a nameserver
+//     from glue an earlier referral cached, the other finds its lookup
+//     eaten by the fault plan) the pick still agrees whenever both runs
+//     hold the top-two weighted servers. An index-derived pick (hash mod
+//     len) would diverge on every such set difference.
+func (h *Health) planExchange(sel Selection, seed int64, servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) ([]netip.Addr, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cands := h.filterAvailableLocked(servers)
+	if sel != SelectP2C || len(cands) < 2 {
+		return cands, 0
+	}
+	// Rendezvous scan: i gets the max-weight candidate, j the runner-up.
+	// Attempt 0 keeps the weight stream disjoint from query IDs and
+	// backoff draws, which hash attempts >= 1.
+	i, j := -1, -1
+	var wi, wj uint64
+	for k, s := range cands {
+		w := queryHash(seed, s, name, qtype, 0)
+		switch {
+		case i < 0 || w > wi:
+			j, wj = i, wi
+			i, wi = k, w
+		case j < 0 || w > wj:
+			j, wj = k, w
+		}
+	}
+	var ei, ej float64
+	if e, ok := h.entries[cands[i]]; ok {
+		ei = e.ewmaRTT
+	}
+	if e, ok := h.entries[cands[j]]; ok {
+		ej = e.ewmaRTT
+	}
+	// Lower estimate wins, but only when both servers are measured; if
+	// either estimate is absent (EWMA 0) the max-weight candidate keeps
+	// the slot. Favoring unexplored servers would read "has this server
+	// been measured yet" into the pick, and that bit is warmth-dependent
+	// (a run that answered from cache never queried the server) — exactly
+	// the scheduling sensitivity selection must not have. Ties also keep
+	// the max-weight candidate.
+	if ei != 0 && ej != 0 && ej < ei {
+		return cands, j
+	}
+	return cands, i
 }

@@ -153,15 +153,7 @@ func (o *cacheObs) observe(idx int, hit bool) {
 // call it between passes (the campaigns install it before the first
 // pass); a nil registry uninstalls.
 func (c *Client) SetObserver(r *obs.Registry) {
-	c.mu.Lock()
-	c.obs = newClientObs(r)
-	c.mu.Unlock()
-}
-
-func (c *Client) observer() *clientObs {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.obs
+	c.obs.Store(newClientObs(r))
 }
 
 // SetObserver installs a metrics registry on the resolver's client and

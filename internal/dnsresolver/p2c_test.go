@@ -1,0 +1,147 @@
+package dnsresolver
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"rrdps/internal/dnsmsg"
+)
+
+// p2cTop2 recomputes the rendezvous top-two indices the way planExchange
+// does, so tests can reason about which candidate "should" win.
+func p2cTop2(seed int64, cands []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (maxI, runnerI int) {
+	maxI, runnerI = -1, -1
+	var wMax, wRun uint64
+	for k, s := range cands {
+		w := queryHash(seed, s, name, qtype, 0)
+		switch {
+		case maxI < 0 || w > wMax:
+			runnerI, wRun = maxI, wMax
+			maxI, wMax = k, w
+		case runnerI < 0 || w > wRun:
+			runnerI, wRun = k, w
+		}
+	}
+	return maxI, runnerI
+}
+
+// observeRTT folds one RTT observation into h's EWMA estimate for addr by
+// running it through a pass boundary, the only place estimates move.
+func observeRTT(h *Health, addr netip.Addr, rtt time.Duration) {
+	h.ObserveSuccess(addr)
+	h.ObserveRTT(addr, rtt)
+	h.Checkpoint(DefaultPolicy())
+}
+
+// TestP2CDeterministic pins the properties that keep EWMA P2C selection
+// inside the serial≡parallel guarantee:
+//
+//  1. planExchange is a pure function of (health state, query identity) —
+//     calling it twice returns the same plan.
+//  2. With no estimates, the rendezvous max-weight candidate wins.
+//  3. A one-sided estimate never flips the pick (whether a server has been
+//     measured yet is warmth-dependent, so it must not steer selection).
+//  4. With both top-two measured, the lower estimate wins.
+//  5. Subset stability: dropping a candidate outside the top two leaves
+//     the picked server unchanged (weights attach to servers, not list
+//     positions, so warmth-dependent candidate-set differences don't
+//     reorder the draw).
+func TestP2CDeterministic(t *testing.T) {
+	const seed = int64(42)
+	name := dnsmsg.Name("www.example.com")
+	servers := []netip.Addr{
+		netip.MustParseAddr("192.0.2.11"),
+		netip.MustParseAddr("192.0.2.12"),
+		netip.MustParseAddr("192.0.2.13"),
+		netip.MustParseAddr("192.0.2.14"),
+		netip.MustParseAddr("192.0.2.15"),
+	}
+	maxI, runnerI := p2cTop2(seed, servers, name, dnsmsg.TypeA)
+
+	h := NewHealth()
+	plan := func() ([]netip.Addr, int) {
+		return h.planExchange(SelectP2C, seed, servers, name, dnsmsg.TypeA)
+	}
+
+	// (1) Pure function: two calls, one answer.
+	cands1, start1 := plan()
+	cands2, start2 := plan()
+	if start1 != start2 || len(cands1) != len(cands2) {
+		t.Fatalf("planExchange not pure: (%v,%d) then (%v,%d)", cands1, start1, cands2, start2)
+	}
+	for i := range cands1 {
+		if cands1[i] != cands2[i] {
+			t.Fatalf("candidate order changed between identical calls at %d", i)
+		}
+	}
+
+	// (2) Fresh health: max rendezvous weight wins.
+	if start1 != maxI {
+		t.Fatalf("fresh pick = %d, want max-weight index %d", start1, maxI)
+	}
+
+	// (3) Measuring only the runner-up must not flip the pick.
+	observeRTT(h, servers[runnerI], 3*time.Millisecond)
+	if _, start := plan(); start != maxI {
+		t.Fatalf("one-sided estimate flipped pick to %d, want %d", start, maxI)
+	}
+
+	// (4a) Max-weight measured slower than runner-up: runner-up wins.
+	observeRTT(h, servers[maxI], 100*time.Millisecond)
+	if _, start := plan(); start != runnerI {
+		t.Fatalf("pick = %d with slow max-weight server, want runner-up %d", start, runnerI)
+	}
+
+	// (4b) Drive the max-weight estimate below the runner-up's: it takes
+	// the slot back. (EWMA moves 1/10th per pass, so repeat.)
+	for i := 0; i < 64; i++ {
+		observeRTT(h, servers[maxI], time.Millisecond)
+	}
+	if h.EwmaRTT(servers[maxI]) >= h.EwmaRTT(servers[runnerI]) {
+		t.Fatalf("EWMA did not converge: max %v, runner %v",
+			h.EwmaRTT(servers[maxI]), h.EwmaRTT(servers[runnerI]))
+	}
+	if _, start := plan(); start != maxI {
+		t.Fatalf("pick = %d with fast max-weight server, want %d", start, maxI)
+	}
+
+	// (5) Subset stability: drop one non-top-2 candidate; the picked
+	// server (by address, not index) must not change.
+	_, fullStart := plan()
+	picked := servers[fullStart]
+	for drop := range servers {
+		if drop == maxI || drop == runnerI {
+			continue
+		}
+		subset := make([]netip.Addr, 0, len(servers)-1)
+		for i, s := range servers {
+			if i != drop {
+				subset = append(subset, s)
+			}
+		}
+		cands, start := h.planExchange(SelectP2C, seed, subset, name, dnsmsg.TypeA)
+		if cands[start] != picked {
+			t.Errorf("dropping %v changed pick from %v to %v", servers[drop], picked, cands[start])
+		}
+	}
+}
+
+// TestP2CSingleAndFirst: degenerate inputs bypass the draw — SelectFirst
+// always starts at index 0, and fewer than two candidates leave nothing to
+// choose between.
+func TestP2CSingleAndFirst(t *testing.T) {
+	h := NewHealth()
+	name := dnsmsg.Name("www.example.com")
+	one := []netip.Addr{netip.MustParseAddr("192.0.2.21")}
+	two := []netip.Addr{
+		netip.MustParseAddr("192.0.2.21"),
+		netip.MustParseAddr("192.0.2.22"),
+	}
+	if _, start := h.planExchange(SelectP2C, 1, one, name, dnsmsg.TypeA); start != 0 {
+		t.Errorf("single candidate start = %d, want 0", start)
+	}
+	if _, start := h.planExchange(SelectFirst, 1, two, name, dnsmsg.TypeA); start != 0 {
+		t.Errorf("SelectFirst start = %d, want 0", start)
+	}
+}

@@ -47,6 +47,34 @@ type Policy struct {
 	// SidelineFor is how many checkpointed passes a sidelined server sits
 	// out before it is probed back in.
 	SidelineFor int
+	// Selection picks the first candidate of a multi-server exchange.
+	Selection Selection
+}
+
+// Selection is a nameserver-selection strategy for multi-candidate
+// exchanges.
+type Selection int
+
+// Selection strategies.
+const (
+	// SelectFirst always starts at the first candidate — the historical
+	// rotate-from-the-front behaviour.
+	SelectFirst Selection = iota
+	// SelectP2C starts at the winner of a power-of-two-choices draw over
+	// the health tracker's EWMA-RTT estimates (the dnscrypt-proxy load
+	// balancing strategy, made seed-deterministic). Retries still rotate
+	// through the other candidates from the winner onward.
+	SelectP2C
+)
+
+// String implements fmt.Stringer.
+func (s Selection) String() string {
+	switch s {
+	case SelectP2C:
+		return "p2c"
+	default:
+		return "first"
+	}
 }
 
 // DefaultPolicy is the retry policy the measurement campaigns use unless
@@ -61,14 +89,19 @@ func DefaultPolicy() Policy {
 		Hedge:         true,
 		SidelineAfter: 4,
 		SidelineFor:   2,
+		Selection:     SelectP2C,
 	}
 }
 
 // NoRetryPolicy performs exactly one attempt per candidate server with no
 // hedging and no sidelining — the behaviour of the pre-resilience client,
-// and the default for a bare NewClient.
+// and the default for a bare NewClient. It keeps the default selection
+// strategy: with fresh health state both policies then pick the same
+// primary for the same query, so a retrying run's attempt schedule starts
+// with exactly the attempts a no-retry run makes (retries only add
+// attempts, never reorder the shared prefix).
 func NoRetryPolicy() Policy {
-	return Policy{MaxAttempts: 1}
+	return Policy{MaxAttempts: 1, Selection: SelectP2C}
 }
 
 // normalized fills zero fields with usable values and clamps nonsense.
@@ -96,8 +129,8 @@ func (p Policy) normalized() Policy {
 
 // String renders the policy for health summaries.
 func (p Policy) String() string {
-	return fmt.Sprintf("attempts=%d backoff=%v..%v jitter=%.0f%% hedge=%v sideline=%d/%d",
-		p.MaxAttempts, p.BaseBackoff, p.MaxBackoff, p.Jitter*100, p.Hedge, p.SidelineAfter, p.SidelineFor)
+	return fmt.Sprintf("attempts=%d backoff=%v..%v jitter=%.0f%% hedge=%v sideline=%d/%d select=%s",
+		p.MaxAttempts, p.BaseBackoff, p.MaxBackoff, p.Jitter*100, p.Hedge, p.SidelineAfter, p.SidelineFor, p.Selection)
 }
 
 // Backoff returns the deterministic delay scheduled before attempt

@@ -1,0 +1,6 @@
+//go:build !race
+
+package dnsresolver
+
+// raceEnabled is false without -race; see race_on_test.go.
+const raceEnabled = false

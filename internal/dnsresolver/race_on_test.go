@@ -1,0 +1,9 @@
+//go:build race
+
+package dnsresolver
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation allocates on paths that are otherwise
+// allocation-free. Alloc-budget assertions skip under it; the budget is
+// enforced by the plain `go test` run and the CI bench gate.
+const raceEnabled = true

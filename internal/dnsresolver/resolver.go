@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"time"
 
 	"rrdps/internal/dnsmsg"
@@ -45,7 +46,8 @@ type Result struct {
 	// Chain is the CNAME chain followed, in order, possibly empty.
 	Chain []dnsmsg.RR
 	// Answers holds the records of the requested type at the final name.
-	// Empty with a nil error means NODATA.
+	// Empty with a nil error means NODATA. The slice may be shared with
+	// the resolver's cache; callers must not mutate it.
 	Answers []dnsmsg.RR
 }
 
@@ -108,6 +110,11 @@ type Config struct {
 	// attempt per candidate server, no sidelining) — the pre-resilience
 	// behaviour. The campaign runners install DefaultPolicy instead.
 	Policy *Policy
+	// CacheCapacity bounds the cache's total entry count; past it, the
+	// least-recently-used entries are evicted. Zero means unbounded — the
+	// historical behaviour, which campaigns whose reports carry query
+	// counts rely on (eviction changes which queries go upstream).
+	CacheCapacity int
 }
 
 // Resolver is an iterative resolver with cache. Safe for concurrent use.
@@ -119,6 +126,26 @@ type Resolver struct {
 
 	negTTL time.Duration
 }
+
+// resolveFrame is the reusable state of one recursion depth: the codec
+// scratch its exchanges run through, and the server/host slices its
+// delegation walk builds. Keeping one frame per depth lets a nested
+// NS-address resolution run while the outer walk's state stays intact.
+type resolveFrame struct {
+	ex      exchangeScratch
+	servers []netip.Addr
+	hosts   []dnsmsg.Name
+	addrs   []netip.Addr
+}
+
+// resolveScratch is the full per-resolution scratch: a frame for every
+// recursion depth. Pooled, so steady-state resolutions allocate nothing
+// for plumbing.
+type resolveScratch struct {
+	frames [maxDepth + 1]resolveFrame
+}
+
+var resolveScratchPool = sync.Pool{New: func() any { return new(resolveScratch) }}
 
 // New creates a Resolver.
 func New(cfg Config) *Resolver {
@@ -136,7 +163,7 @@ func New(cfg Config) *Resolver {
 		client: client,
 		clock:  cfg.Clock,
 		roots:  append([]netip.Addr(nil), cfg.Roots...),
-		cache:  newCache(),
+		cache:  newCache(cfg.CacheCapacity),
 		negTTL: 15 * time.Minute,
 	}
 }
@@ -166,10 +193,13 @@ func (r *Resolver) CacheLen() int { return r.cache.Len(r.clock.Now()) }
 
 // Resolve performs a full recursive resolution of (name, qtype).
 func (r *Resolver) Resolve(name dnsmsg.Name, qtype dnsmsg.Type) (Result, error) {
-	return r.resolve(name, qtype, 0)
+	sc := resolveScratchPool.Get().(*resolveScratch)
+	res, err := r.resolve(sc, name, qtype, 0)
+	resolveScratchPool.Put(sc)
+	return res, err
 }
 
-func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Result, error) {
+func (r *Resolver) resolve(sc *resolveScratch, name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Result, error) {
 	if depth > maxDepth {
 		return Result{}, fmt.Errorf("resolving %s %s: nesting too deep: %w", name, qtype, ErrServFail)
 	}
@@ -193,7 +223,7 @@ func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Resu
 			return res, nil
 		}
 
-		chain, answers, rcode, negTTL, err := r.iterate(cur, qtype, depth)
+		chain, answers, rcode, negTTL, err := r.iterate(sc, cur, qtype, depth)
 		if err != nil {
 			return res, fmt.Errorf("resolving %s %s: %w", name, qtype, err)
 		}
@@ -203,7 +233,7 @@ func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Resu
 			return res, fmt.Errorf("resolving %s %s: %w", name, qtype, ErrNXDomain)
 		}
 
-		ttl := minTTL(append(chain, answers...), r.negTTL)
+		ttl := minTTL2(chain, answers, r.negTTL)
 		r.cache.putAnswer(now, key, answerEntry{chain: chain, answers: answers}, ttl)
 		// Feed A answers into the host-address cache for NS resolution.
 		for _, rr := range answers {
@@ -228,7 +258,9 @@ func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Resu
 // until an authoritative answer for (name, qtype) arrives. It returns the
 // CNAME chain seen in the final answer, the answers of qtype, the response
 // code, and the negative-caching TTL (from the authority SOA per RFC
-// 2308, falling back to the resolver default).
+// 2308, falling back to the resolver default). The returned slices are
+// freshly allocated (they outlive the scratch); everything transient lives
+// in sc's frame for this depth.
 //
 // The descent is qname-minimized (RFC 7816): each zone cut is discovered
 // with a probe for the child name's NS RRset at the parent's servers,
@@ -241,12 +273,15 @@ func (r *Resolver) resolve(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (Resu
 // With the old full-qname descent, a cold cache issued per-name ancestor
 // queries a warm cache never sent, and their independent fault fates made
 // serial and parallel campaigns diverge.
-func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chain, answers []dnsmsg.RR, rcode dnsmsg.RCode, negTTL time.Duration, err error) {
+func (r *Resolver) iterate(sc *resolveScratch, name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chain, answers []dnsmsg.RR, rcode dnsmsg.RCode, negTTL time.Duration, err error) {
+	f := &sc.frames[depth]
 	now := r.clock.Now()
-	servers := append([]netip.Addr(nil), r.roots...)
+	f.servers = append(f.servers[:0], r.roots...)
+	servers := f.servers
 	zone := dnsmsg.Name("") // the root
 	if cut, hosts, ok := r.cache.closestDelegation(now, name); ok {
-		if addrs := r.hostAddrs(hosts, depth); len(addrs) > 0 {
+		// hosts is cache-shared; hostAddrs only reads it.
+		if addrs := r.hostAddrs(sc, hosts, depth); len(addrs) > 0 {
 			zone, servers = cut, addrs
 		}
 	}
@@ -256,7 +291,7 @@ func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chai
 			break
 		}
 		child := nextLabel(zone, name)
-		resp, ok := r.queryAny(servers, child, dnsmsg.TypeNS)
+		resp, ok := r.queryAny(&f.ex, servers, child, dnsmsg.TypeNS)
 		if !ok {
 			return nil, nil, 0, 0, fmt.Errorf("no server for %s answered: %w", child, ErrServFail)
 		}
@@ -283,17 +318,21 @@ func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chai
 			zone = child
 			continue
 		}
-		hosts := make([]dnsmsg.Name, 0, len(nsSet))
+		f.hosts = f.hosts[:0]
 		for _, rr := range nsSet {
-			hosts = append(hosts, rr.Data.(dnsmsg.NSData).Host)
+			f.hosts = append(f.hosts, rr.Data.(dnsmsg.NSData).Host)
 		}
-		r.cache.putDelegation(now, child, hosts, minTTL(nsSet, r.negTTL))
+		r.cache.putDelegation(now, child, f.hosts, minTTL(nsSet, r.negTTL))
 		for _, rr := range resp.Additional {
 			if a, ok := rr.Data.(dnsmsg.AData); ok {
 				r.cache.putHostAddr(now, rr.Name, a.Addr, rr.TTL)
 			}
 		}
-		next := r.hostAddrs(hosts, depth)
+		// This overwrites f.addrs — the backing of `servers` when the walk
+		// started from a cached cut or took a prior referral — which is
+		// fine: this hop's queries are done, and `servers` is reassigned
+		// before the next read.
+		next := r.hostAddrs(sc, f.hosts, depth)
 		if len(next) == 0 {
 			return nil, nil, 0, 0, fmt.Errorf("no reachable nameserver for %s: %w", child, ErrServFail)
 		}
@@ -304,7 +343,7 @@ func (r *Resolver) iterate(name dnsmsg.Name, qtype dnsmsg.Type, depth int) (chai
 	}
 
 	// The full question goes only to the name's own authoritative servers.
-	resp, ok := r.queryAny(servers, name, qtype)
+	resp, ok := r.queryAny(&f.ex, servers, name, qtype)
 	if !ok {
 		return nil, nil, 0, 0, fmt.Errorf("no server for %s answered: %w", name, ErrServFail)
 	}
@@ -359,11 +398,12 @@ func (r *Resolver) negativeTTL(resp *dnsmsg.Message) time.Duration {
 }
 
 // queryAny asks the candidate servers under the client's retry policy:
-// sidelined servers are skipped, attempts rotate across the rest, and
-// with NoRetryPolicy this reduces to the classic try-each-server-once
-// loop.
-func (r *Resolver) queryAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, bool) {
-	resp, err := r.client.ExchangeAny(servers, name, qtype)
+// sidelined servers are skipped, the policy's selection strategy picks the
+// first target, attempts rotate across the rest, and with NoRetryPolicy
+// this reduces to the classic try-each-server-once loop. The response
+// aliases ex and is valid only until ex's next exchange.
+func (r *Resolver) queryAny(ex *exchangeScratch, servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Message, bool) {
+	resp, err := r.client.exchangeAny(ex, servers, name, qtype)
 	if err != nil {
 		return nil, false
 	}
@@ -371,22 +411,43 @@ func (r *Resolver) queryAny(servers []netip.Addr, name dnsmsg.Name, qtype dnsmsg
 }
 
 // hostAddrs maps nameserver hostnames to addresses, using glue from cache
-// and falling back to nested resolution.
-func (r *Resolver) hostAddrs(hosts []dnsmsg.Name, depth int) []netip.Addr {
+// and falling back to nested resolution. The returned slice is backed by
+// the depth's frame and is valid until its next hostAddrs call.
+func (r *Resolver) hostAddrs(sc *resolveScratch, hosts []dnsmsg.Name, depth int) []netip.Addr {
+	f := &sc.frames[depth]
 	now := r.clock.Now()
-	var out []netip.Addr
+	out := f.addrs[:0]
 	for _, h := range hosts {
 		if addr, ok := r.cache.getHostAddr(now, h); ok {
 			out = append(out, addr)
 			continue
 		}
-		sub, err := r.resolve(h, dnsmsg.TypeA, depth+1)
-		if err == nil {
-			if addrs := sub.Addrs(); len(addrs) > 0 {
-				out = append(out, addrs[0])
+		if depth >= maxDepth {
+			continue // a deeper resolve would be refused anyway
+		}
+		sub, err := r.resolve(sc, h, dnsmsg.TypeA, depth+1)
+		if err != nil {
+			// The walk failed, but it may still have deposited h's glue (a
+			// referral's Additional section caches host addresses even when
+			// a later hop of the walk dies). Re-checking makes the host's
+			// availability a function of the walk's deterministic fault
+			// fates alone: without it, the first resolution to need h drops
+			// it while every later one finds the glue the failed walk left
+			// behind — and which resolution runs first is a scheduling
+			// accident, the one thing candidate sets must not depend on.
+			if addr, ok := r.cache.getHostAddr(now, h); ok {
+				out = append(out, addr)
+			}
+			continue
+		}
+		for _, rr := range sub.Answers {
+			if a, ok := rr.Data.(dnsmsg.AData); ok {
+				out = append(out, a.Addr)
+				break
 			}
 		}
 	}
+	f.addrs = out
 	return out
 }
 
@@ -449,4 +510,20 @@ func minTTL(rrs []dnsmsg.RR, fallback time.Duration) time.Duration {
 		}
 	}
 	return min
+}
+
+// minTTL2 returns the smallest TTL across both slices, or fallback when
+// both are empty — minTTL without concatenating first.
+func minTTL2(a, b []dnsmsg.RR, fallback time.Duration) time.Duration {
+	switch {
+	case len(a) == 0:
+		return minTTL(b, fallback)
+	case len(b) == 0:
+		return minTTL(a, fallback)
+	}
+	ta, tb := minTTL(a, fallback), minTTL(b, fallback)
+	if ta < tb {
+		return ta
+	}
+	return tb
 }

@@ -235,7 +235,11 @@ func TestSidelineAndProbeBack(t *testing.T) {
 func TestHedgeAccountsAlternateAttempts(t *testing.T) {
 	f := newFixture(t)
 	c := f.resolver.Client()
-	c.SetPolicy(DefaultPolicy())
+	// Pin rotate-from-the-front selection so the blackholed primary is
+	// deterministically the first target (P2C could start elsewhere).
+	p := DefaultPolicy()
+	p.Selection = SelectFirst
+	c.SetPolicy(p)
 	f.net.SetBlackholed(netsim.Endpoint{Addr: f.authAddr, Port: netsim.PortDNS}, true)
 
 	// tldAddr serves example.com's delegation; any answer will do — the

@@ -12,6 +12,7 @@ package dnsserver
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rrdps/internal/dnsmsg"
 	"rrdps/internal/dnszone"
@@ -43,10 +44,10 @@ type Config struct {
 type Server struct {
 	name    string
 	unknown UnknownZonePolicy
+	queries atomic.Uint64
 
-	mu      sync.RWMutex
-	zones   map[dnsmsg.Name]*dnszone.Zone
-	queries uint64
+	mu    sync.RWMutex
+	zones map[dnsmsg.Name]*dnszone.Zone
 }
 
 // New creates a Server.
@@ -96,9 +97,7 @@ func (s *Server) ZoneCount() int {
 
 // Queries returns how many queries the server has processed.
 func (s *Server) Queries() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.queries
+	return s.queries.Load()
 }
 
 // findZone returns the hosted zone with the longest origin that is a
@@ -118,43 +117,88 @@ func (s *Server) findZone(qname dnsmsg.Name) *dnszone.Zone {
 	}
 }
 
+// serverScratch bundles the per-query codec and lookup state one in-flight
+// query needs, pooled so the serve path allocates nothing in steady state.
+type serverScratch struct {
+	dec   dnsmsg.Decoder
+	enc   dnsmsg.Encoder
+	query dnsmsg.Message
+	resp  dnsmsg.Message
+	res   dnszone.Result
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(serverScratch) }}
+
 // ServeNet implements netsim.Handler. A nil response with nil error means
 // the query was silently ignored.
 func (s *Server) ServeNet(req netsim.Request) ([]byte, error) {
-	query, err := dnsmsg.Decode(req.Payload)
-	if err != nil || len(query.Questions) == 0 || query.Header.Response {
+	return s.ServeNetBuf(req, nil)
+}
+
+var _ netsim.BufferedHandler = (*Server)(nil)
+
+// ServeNetBuf implements netsim.BufferedHandler: the response is appended
+// to dst, so a client that recycles its receive buffer gets answers
+// without a single server-side allocation.
+func (s *Server) ServeNetBuf(req netsim.Request, dst []byte) ([]byte, error) {
+	sc := scratchPool.Get().(*serverScratch)
+	defer scratchPool.Put(sc)
+
+	if err := sc.dec.DecodeInto(req.Payload, &sc.query); err != nil ||
+		len(sc.query.Questions) == 0 || sc.query.Header.Response {
 		// Malformed datagram: real servers drop these.
 		return nil, nil
 	}
-	s.mu.Lock()
-	s.queries++
-	s.mu.Unlock()
+	s.queries.Add(1)
 
-	resp := s.Respond(query)
-	if resp == nil {
+	if !s.respondInto(&sc.query, &sc.resp, &sc.res) {
 		return nil, nil
 	}
-	return dnsmsg.Encode(resp)
+	return sc.enc.EncodeAppend(dst, &sc.resp)
 }
 
 // Respond computes the server's response to query, or nil when the query is
 // ignored per policy. It is exported so tests and in-process clients can
 // bypass the codec.
 func (s *Server) Respond(query *dnsmsg.Message) *dnsmsg.Message {
+	resp := &dnsmsg.Message{}
+	var res dnszone.Result
+	if !s.respondInto(query, resp, &res) {
+		return nil
+	}
+	return resp
+}
+
+// respondInto fills resp (reusing its slices) with the answer to query,
+// using res as lookup scratch. It reports false when the query is ignored
+// per policy. resp's sections may alias res; both belong to the caller.
+func (s *Server) respondInto(query, resp *dnsmsg.Message, res *dnszone.Result) bool {
 	q := query.Question()
+	resp.Header = dnsmsg.Header{
+		ID:               query.Header.ID,
+		Response:         true,
+		Opcode:           query.Header.Opcode,
+		RecursionDesired: query.Header.RecursionDesired,
+	}
+	resp.Questions = append(resp.Questions[:0], query.Questions...)
+	resp.Answers = nil
+	resp.Authority = nil
+	resp.Additional = nil
+
 	zone := s.findZone(q.Name)
 	if zone == nil {
 		if s.unknown == PolicyIgnore {
-			return nil
+			return false
 		}
-		return dnsmsg.NewResponse(query, dnsmsg.RCodeRefused)
+		resp.Header.RCode = dnsmsg.RCodeRefused
+		return true
 	}
 	if q.Class != dnsmsg.ClassIN {
-		return dnsmsg.NewResponse(query, dnsmsg.RCodeNotImp)
+		resp.Header.RCode = dnsmsg.RCodeNotImp
+		return true
 	}
 
-	res := zone.Lookup(q.Name, q.Type)
-	resp := dnsmsg.NewResponse(query, dnsmsg.RCodeNoError)
+	zone.LookupInto(q.Name, q.Type, res)
 	resp.Header.Authoritative = true
 
 	switch res.Kind {
@@ -165,10 +209,12 @@ func (s *Server) Respond(query *dnsmsg.Message) *dnsmsg.Message {
 		resp.Authority = res.Records
 		resp.Additional = res.Glue
 	case dnszone.KindNoData:
-		resp.Authority = []dnsmsg.RR{res.SOA}
+		res.Glue = append(res.Glue[:0], res.SOA)
+		resp.Authority = res.Glue
 	case dnszone.KindNXDomain:
 		resp.Header.RCode = dnsmsg.RCodeNXDomain
-		resp.Authority = []dnsmsg.RR{res.SOA}
+		res.Glue = append(res.Glue[:0], res.SOA)
+		resp.Authority = res.Glue
 	}
-	return resp
+	return true
 }

@@ -250,13 +250,33 @@ func (z *Zone) Names() []dnsmsg.Name {
 	return out
 }
 
+// maxCNAMEChase bounds in-zone CNAME chain chasing. Chains this long do
+// not occur in the simulated world; the bound replaces the per-lookup seen
+// map so the hot path stays allocation-free while still terminating on
+// alias cycles.
+const maxCNAMEChase = 16
+
 // Lookup runs the authoritative lookup algorithm for (qname, qtype).
 // The caller must ensure qname is within the zone; Lookup panics otherwise
 // because routing a foreign name here is a server bug, not a client error.
 func (z *Zone) Lookup(qname dnsmsg.Name, qtype dnsmsg.Type) Result {
+	var res Result
+	z.LookupInto(qname, qtype, &res)
+	return res
+}
+
+// LookupInto is Lookup writing into a caller-owned Result: res.Records and
+// res.Glue are truncated and re-filled, so a reused Result stops
+// allocating once its slices have grown to the zone's answer sizes. The
+// record values are copies; they remain valid across later zone mutation.
+func (z *Zone) LookupInto(qname dnsmsg.Name, qtype dnsmsg.Type, res *Result) {
 	if !z.contains(qname) {
 		panic(fmt.Sprintf("dnszone: lookup of %s outside zone %s", qname, z.origin))
 	}
+	res.Records = res.Records[:0]
+	res.Glue = res.Glue[:0]
+	res.SOA = dnsmsg.RR{}
+
 	z.mu.RLock()
 	defer z.mu.RUnlock()
 
@@ -264,26 +284,30 @@ func (z *Zone) Lookup(qname dnsmsg.Name, qtype dnsmsg.Type) Result {
 	// toward qname; an NS RRset not at the apex is a zone cut.
 	if cut, ok := z.findCutLocked(qname); ok {
 		ns := z.rrsets[cut][dnsmsg.TypeNS]
-		res := Result{Kind: KindReferral, Records: append([]dnsmsg.RR(nil), ns...)}
+		res.Kind = KindReferral
+		res.Records = append(res.Records, ns...)
 		for _, rr := range ns {
 			host := rr.Data.(dnsmsg.NSData).Host
 			if z.contains(host) {
 				res.Glue = append(res.Glue, z.rrsets[host][dnsmsg.TypeA]...)
 			}
 		}
-		return res
+		return
 	}
 
 	sets := z.rrsets[qname]
 
 	// CNAME handling: an alias answers every type except its own.
 	if cname, ok := sets[dnsmsg.TypeCNAME]; ok && qtype != dnsmsg.TypeCNAME {
-		res := Result{Kind: KindCNAME, Records: append([]dnsmsg.RR(nil), cname...)}
-		// Chase the chain while targets stay inside this zone.
-		seen := map[dnsmsg.Name]bool{qname: true}
+		res.Kind = KindCNAME
+		res.Records = append(res.Records, cname...)
+		// Chase the chain while targets stay inside this zone. The seen
+		// list lives on the stack; its capacity bounds the chase depth.
+		var seenArr [maxCNAMEChase]dnsmsg.Name
+		seen := append(seenArr[:0], qname)
 		cur := cname[0].Data.(dnsmsg.CNAMEData).Target
-		for z.contains(cur) && !seen[cur] {
-			seen[cur] = true
+		for z.contains(cur) && !nameIn(seen, cur) && len(seen) < maxCNAMEChase {
+			seen = append(seen, cur)
 			curSets := z.rrsets[cur]
 			if next, ok := curSets[dnsmsg.TypeCNAME]; ok {
 				res.Records = append(res.Records, next...)
@@ -293,16 +317,32 @@ func (z *Zone) Lookup(qname dnsmsg.Name, qtype dnsmsg.Type) Result {
 			res.Records = append(res.Records, curSets[qtype]...)
 			break
 		}
-		return res
+		return
 	}
 
 	if rrs, ok := sets[qtype]; ok && len(rrs) > 0 {
-		return Result{Kind: KindAnswer, Records: append([]dnsmsg.RR(nil), rrs...)}
+		res.Kind = KindAnswer
+		res.Records = append(res.Records, rrs...)
+		return
 	}
 	if z.hasNode[qname] {
-		return Result{Kind: KindNoData, SOA: z.soaLocked()}
+		res.Kind = KindNoData
+		res.SOA = z.soaLocked()
+		return
 	}
-	return Result{Kind: KindNXDomain, SOA: z.soaLocked()}
+	res.Kind = KindNXDomain
+	res.SOA = z.soaLocked()
+}
+
+// nameIn reports whether n is in names (linear scan over a short stack
+// slice, cheaper than a map for chase-depth-bounded lists).
+func nameIn(names []dnsmsg.Name, n dnsmsg.Name) bool {
+	for _, x := range names {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }
 
 // findCutLocked looks for a delegation NS RRset strictly between the apex
@@ -310,8 +350,10 @@ func (z *Zone) Lookup(qname dnsmsg.Name, qtype dnsmsg.Type) Result {
 // RFC 1034 a query exactly at the cut for NS is still a referral from the
 // parent side, which is the behaviour we want for TLD servers).
 func (z *Zone) findCutLocked(qname dnsmsg.Name) (dnsmsg.Name, bool) {
-	// Build the chain of names from apex child down to qname.
-	var chain []dnsmsg.Name
+	// Chain of names from apex child down to qname; the array backs a
+	// stack-allocated slice for any realistic label depth.
+	var chainArr [24]dnsmsg.Name
+	chain := chainArr[:0]
 	for n := qname; n != z.origin && !n.IsRoot(); n = n.Parent() {
 		chain = append(chain, n)
 	}

@@ -212,14 +212,3 @@ func (n *Network) FaultStats() FaultStats {
 	defer n.mu.Unlock()
 	return n.faultStats
 }
-
-// corruptPayload returns a truncated copy of resp, short of a full DNS
-// header so decoding always fails. The copy matters: handlers may return
-// shared buffers.
-func corruptPayload(resp []byte) []byte {
-	n := len(resp) / 2
-	if n > 7 {
-		n = 7
-	}
-	return append([]byte(nil), resp[:n]...)
-}

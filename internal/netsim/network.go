@@ -212,80 +212,8 @@ func (n *Network) ensureEndpointLocked(ep Endpoint) *endpointState {
 // Send delivers payload from (from, fromRegion) to the endpoint and returns
 // the handler's response. Anycast endpoints route to the nearest PoP.
 func (n *Network) Send(from netip.Addr, fromRegion Region, to Endpoint, payload []byte) ([]byte, error) {
-	n.mu.Lock()
-	n.sends++
-	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
-		n.drops++
-		n.mu.Unlock()
-		return nil, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
-	}
-	var outcome faultOutcome
-	if n.faults.Enabled() {
-		// decide() is pure; it runs under the lock only because the plan
-		// and the clock read must be consistent with the counters.
-		outcome = n.faults.decide(n.clock.Now(), to, payload)
-		if outcome.drop {
-			n.drops++
-			switch outcome.cause {
-			case saltUniform:
-				n.faultStats.UniformDrops++
-			case saltBurstDrop:
-				n.faultStats.BurstDrops++
-			case saltFlakyDrop:
-				n.faultStats.FlakyDrops++
-			}
-			n.mu.Unlock()
-			return nil, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
-		}
-		if outcome.corrupt {
-			n.faultStats.Corrupted++
-		}
-	}
-	st, ok := n.endpoints[to]
-	if !ok || len(st.instances) == 0 {
-		n.mu.Unlock()
-		return nil, fmt.Errorf("sending to %s: %w", to, ErrUnreachable)
-	}
-	if st.blackholed {
-		n.drops++
-		n.mu.Unlock()
-		return nil, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
-	}
-	inst := st.instances[0]
-	if len(st.instances) > 1 {
-		best := Distance(fromRegion, inst.region)
-		for _, cand := range st.instances[1:] {
-			if d := Distance(fromRegion, cand.region); d < best {
-				inst, best = cand, d
-			}
-		}
-	}
-	st.queries[inst.region]++
-	now := n.clock.Now()
-	n.mu.Unlock()
-
-	req := Request{
-		From:       from,
-		FromRegion: fromRegion,
-		To:         to,
-		PoPRegion:  inst.region,
-		Payload:    payload,
-		Time:       now,
-	}
-	resp, err := inst.handler.ServeNet(req)
-	if err != nil {
-		return nil, fmt.Errorf("serving %s: %w", to, err)
-	}
-	if resp == nil {
-		// The handler silently ignored the request; the client observes a
-		// timeout, exactly like querying a DPS nameserver for a domain it
-		// no longer serves.
-		return nil, fmt.Errorf("no answer from %s: %w", to, ErrTimeout)
-	}
-	if outcome.corrupt {
-		return corruptPayload(resp), nil
-	}
-	return resp, nil
+	resp, _, err := n.Exchange(from, fromRegion, to, payload, nil)
+	return resp, err
 }
 
 // Reachable reports whether at least one handler is registered at ep and it

@@ -16,8 +16,9 @@ import (
 //		...
 //	}
 //
-// Records materialize one at a time; nothing the cursor hands out is
-// retained by the store beyond its interned backing data.
+// Records materialize one at a time without allocating: their slices are
+// the store's interned backing data, shared across materializations, so
+// callers must treat them as read-only.
 type Cursor struct {
 	s    *Store
 	day  int32

@@ -159,11 +159,13 @@ func FromState(st State) (*Store, error) {
 				day:  int32(vs.Day),
 				gone: vs.Gone,
 				rec: crec{
-					addrs:     append([]netip.Addr(nil), vs.Rec.Addrs...),
-					cnames:    cnames,
-					nsHosts:   nsHosts,
-					resolveOK: vs.Rec.ResolveOK,
-					nsOK:      vs.Rec.NSOK,
+					addrs:       append([]netip.Addr(nil), vs.Rec.Addrs...),
+					cnames:      cnames,
+					nsHosts:     nsHosts,
+					cnameNames:  s.interner.resolveAll(cnames),
+					nsHostNames: s.interner.resolveAll(nsHosts),
+					resolveOK:   vs.Rec.ResolveOK,
+					nsOK:        vs.Rec.NSOK,
 				},
 			}
 		}

@@ -31,12 +31,22 @@ import (
 // crec is the compact stored form of a collect.Record: names are interned
 // handles, the rank lives in per-apex metadata, and the apex itself is
 // implied by the chain the version sits in.
+//
+// cnameNames/nsHostNames cache the handles resolved back to names, built
+// once when the version is stored. Replay paths (Cursor, DiffPairs,
+// RecordAt) hand these slices out directly, so a day-over-day diff walks
+// the store without allocating a name slice per record; the price is one
+// extra slice header pair per stored version, and versions only exist
+// where records actually changed. equal() ignores the caches — the
+// handles are the value.
 type crec struct {
-	addrs     []netip.Addr
-	cnames    []NameID
-	nsHosts   []NameID
-	resolveOK bool
-	nsOK      bool
+	addrs       []netip.Addr
+	cnames      []NameID
+	nsHosts     []NameID
+	cnameNames  []dnsmsg.Name
+	nsHostNames []dnsmsg.Name
+	resolveOK   bool
+	nsOK        bool
 }
 
 // equal reports value equality, the delta-encoding predicate: equal
@@ -200,6 +210,9 @@ func (w *DayWriter) Put(rec collect.Record) {
 	if n := len(chain); n > 0 && !chain[n-1].gone && chain[n-1].rec.equal(cr) {
 		return // unchanged since its last version: no new delta
 	}
+	// Only a version that is actually stored pays for its replay caches.
+	cr.cnameNames = s.interner.resolveAll(cr.cnames)
+	cr.nsHostNames = s.interner.resolveAll(cr.nsHosts)
 	s.chains[idx] = append(chain, version{day: w.day, rec: cr})
 	s.versions++
 }
@@ -297,14 +310,17 @@ func (s *Store) checkDay(day int) int32 {
 }
 
 // materialize converts a stored version back to the collect.Record the
-// legacy map-based path would have held, resolving interned handles.
+// legacy map-based path would have held. The record's slices are the
+// version's cached backing data, shared across every materialization of
+// the same version: replay is allocation-free, and callers must treat the
+// record as read-only.
 func (s *Store) materialize(idx int32, r crec) collect.Record {
 	m := s.metas[idx]
 	return collect.Record{
 		Domain:    alexa.Domain{Rank: int(m.rank), Apex: m.name},
 		Addrs:     r.addrs,
-		CNAMEs:    s.interner.resolveAll(r.cnames),
-		NSHosts:   s.interner.resolveAll(r.nsHosts),
+		CNAMEs:    r.cnameNames,
+		NSHosts:   r.nsHostNames,
 		ResolveOK: r.resolveOK,
 		NSOK:      r.nsOK,
 	}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rrdps/internal/dnsresolver
+cpu: Fake CPU @ 2.00GHz
+BenchmarkResolveCached-8     7000000     162.1 ns/op     0 B/op     0 allocs/op
+BenchmarkResolveCached-8     7100000     158.9 ns/op     0 B/op     0 allocs/op
+BenchmarkResolveUncached-8    180000    6631 ns/op   176 B/op     3 allocs/op
+BenchmarkDynamicsMemory/sites=1000-8   1   123456789 ns/op   52.0 retained-B/domain-day   100 B/op   5 allocs/op
+PASS
+ok   rrdps/internal/dnsresolver  3.1s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("platform = %s/%s", rep.GOOS, rep.GOARCH)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	cached, ok := byName["BenchmarkResolveCached"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", rep.Benchmarks)
+	}
+	if cached.Runs != 2 {
+		t.Errorf("cached runs = %d, want 2", cached.Runs)
+	}
+	// Repeated runs keep the best (minimum) value per metric.
+	if got := cached.Metrics["ns/op"]; got != 158.9 {
+		t.Errorf("cached ns/op = %v, want best-of 158.9", got)
+	}
+	if got := cached.Metrics["allocs/op"]; got != 0 {
+		t.Errorf("cached allocs/op = %v, want 0", got)
+	}
+	// Custom ReportMetric units ride along; sub-benchmark paths survive.
+	mem, ok := byName["BenchmarkDynamicsMemory/sites=1000"]
+	if !ok {
+		t.Fatalf("sub-benchmark name mangled: %+v", rep.Benchmarks)
+	}
+	if got := mem.Metrics["retained-B/domain-day"]; got != 52.0 {
+		t.Errorf("retained-B/domain-day = %v, want 52", got)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkResolveCached-8":         "BenchmarkResolveCached",
+		"BenchmarkResolveCached":           "BenchmarkResolveCached",
+		"BenchmarkScanDirect/workers=4-16": "BenchmarkScanDirect/workers=4",
+		"BenchmarkOdd-name":                "BenchmarkOdd-name",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := dir + "/" + name
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+var gateAll = regexp.MustCompile(defaultGate)
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{"benchmarks":[
+		{"name":"BenchmarkResolveCached","runs":1,"metrics":{"ns/op":160,"allocs/op":0}},
+		{"name":"BenchmarkResolveUncached","runs":1,"metrics":{"ns/op":6600,"allocs/op":3}}]}`)
+
+	// Within band, allocs flat: passes.
+	ok := writeReport(t, dir, "ok.json", `{"benchmarks":[
+		{"name":"BenchmarkResolveCached","runs":1,"metrics":{"ns/op":170,"allocs/op":0}},
+		{"name":"BenchmarkResolveUncached","runs":1,"metrics":{"ns/op":6000,"allocs/op":3}}]}`)
+	if err := runCompare(base, ok, 0.10, gateAll); err != nil {
+		t.Errorf("in-band report failed the gate: %v", err)
+	}
+
+	// 1 extra alloc: fails even with ns/op improved.
+	alloc := writeReport(t, dir, "alloc.json", `{"benchmarks":[
+		{"name":"BenchmarkResolveCached","runs":1,"metrics":{"ns/op":100,"allocs/op":1}},
+		{"name":"BenchmarkResolveUncached","runs":1,"metrics":{"ns/op":6000,"allocs/op":3}}]}`)
+	if err := runCompare(base, alloc, 0.10, gateAll); err == nil {
+		t.Error("allocs/op regression passed the gate")
+	}
+
+	// ns/op past the band: fails.
+	slow := writeReport(t, dir, "slow.json", `{"benchmarks":[
+		{"name":"BenchmarkResolveCached","runs":1,"metrics":{"ns/op":200,"allocs/op":0}},
+		{"name":"BenchmarkResolveUncached","runs":1,"metrics":{"ns/op":6600,"allocs/op":3}}]}`)
+	if err := runCompare(base, slow, 0.10, gateAll); err == nil {
+		t.Error("25% ns/op regression passed the 10% gate")
+	}
+
+	// Benchmark vanished from the fresh report: fails.
+	missing := writeReport(t, dir, "missing.json", `{"benchmarks":[
+		{"name":"BenchmarkResolveCached","runs":1,"metrics":{"ns/op":160,"allocs/op":0}}]}`)
+	if err := runCompare(base, missing, 0.10, gateAll); err == nil {
+		t.Error("missing benchmark passed the gate")
+	}
+}
+
+// TestCompareUngatedIsInformational: campaign-scale benchmarks outside
+// the gate regexp never fail the build — their concurrent workers make
+// allocs/op scheduling-dependent, so they are trend data, not a contract.
+func TestCompareUngatedIsInformational(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{"benchmarks":[
+		{"name":"BenchmarkScanDirect/workers=8","runs":1,"metrics":{"ns/op":4000000,"allocs/op":13000}}]}`)
+	worse := writeReport(t, dir, "worse.json", `{"benchmarks":[
+		{"name":"BenchmarkScanDirect/workers=8","runs":1,"metrics":{"ns/op":9000000,"allocs/op":14000}}]}`)
+	if err := runCompare(base, worse, 0.10, gateAll); err != nil {
+		t.Errorf("ungated regression failed the build: %v", err)
+	}
+}

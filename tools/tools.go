@@ -1,0 +1,19 @@
+// Package tools pins the versions of the external developer tools the
+// Makefile and CI invoke, so local runs and the workflow use identical
+// binaries.
+//
+// The usual tools.go idiom (blank imports behind a build tag) would force
+// the tool modules into go.mod; this module is deliberately
+// zero-dependency, so the pins live here as constants instead and the
+// Makefile extracts them (see STATICCHECK_VERSION there). Tools run via
+// `go run <module>@<version>`, which resolves outside the module graph.
+package tools
+
+// Tool versions. Bump here — the Makefile and .github/workflows/ci.yml
+// both read this file, so one edit moves every consumer.
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2023.1.7"
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.3"
+)
