@@ -15,6 +15,7 @@ import (
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
 	"rrdps/internal/obs"
+	"rrdps/internal/shardrun"
 	"rrdps/internal/world"
 )
 
@@ -43,10 +44,6 @@ func main() {
 	cfg.PauseRate *= *boost
 	cfg.SwitchRate *= *boost
 
-	fmt.Printf("building world: %d sites (seed %d)...\n", *sites, *seed)
-	start := time.Now()
-	w := world.New(cfg)
-	fmt.Printf("world ready in %v; running %d-day campaign...\n\n", time.Since(start).Round(time.Millisecond), *days)
 	if cf.Resume {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: resuming campaign state from %s\n", cf.CheckpointDir)
 	}
@@ -58,17 +55,45 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := experiment.Dynamics{
-		World:           w,
-		Days:            *days,
-		Workers:         cf.Workers,
-		Policy:          &policy,
-		Obs:             reg,
-		SnapWindow:      cf.SnapWindow,
-		CheckpointDir:   cf.CheckpointDir,
-		CheckpointEvery: cf.CheckpointEvery,
-		Resume:          cf.Resume,
-	}.Run()
+	var res experiment.DynamicsResult
+	if cf.Shards > 1 {
+		// Shard-parallel path: every shard builds its own world replica,
+		// so there is no single world to announce up front.
+		fmt.Printf("running %d-day campaign over %d sites in %d shards (seed %d)...\n\n",
+			*days, *sites, cf.Shards, *seed)
+		start := time.Now()
+		run := shardrun.Dynamics{
+			Config:          cfg,
+			Days:            *days,
+			Shards:          cf.Shards,
+			ShardWorkers:    cf.ShardWorkers,
+			Workers:         cf.Workers,
+			Policy:          &policy,
+			Obs:             reg,
+			SnapWindow:      cf.SnapWindow,
+			CheckpointDir:   cf.CheckpointDir,
+			CheckpointEvery: cf.CheckpointEvery,
+			Resume:          cf.Resume,
+		}.Run()
+		res = run.Merged
+		fmt.Printf("sharded campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("building world: %d sites (seed %d)...\n", *sites, *seed)
+		start := time.Now()
+		w := world.New(cfg)
+		fmt.Printf("world ready in %v; running %d-day campaign...\n\n", time.Since(start).Round(time.Millisecond), *days)
+		res = experiment.Dynamics{
+			World:           w,
+			Days:            *days,
+			Workers:         cf.Workers,
+			Policy:          &policy,
+			Obs:             reg,
+			SnapWindow:      cf.SnapWindow,
+			CheckpointDir:   cf.CheckpointDir,
+			CheckpointEvery: cf.CheckpointEvery,
+			Resume:          cf.Resume,
+		}.Run()
+	}
 
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)

@@ -17,8 +17,27 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/shardrun"
 	"rrdps/internal/world"
 )
+
+// poolCounts reads the Fig. 7 per-PoP query counts of one Cloudflare pool
+// nameserver out of a world. Sharded runs sum this across shard worlds.
+func poolCounts(w *world.World) map[netsim.Region]uint64 {
+	prov, ok := w.Provider(dps.Cloudflare)
+	if !ok {
+		return nil
+	}
+	pool := prov.NSPool()
+	if len(pool) == 0 {
+		return nil
+	}
+	addr, ok := prov.NSPoolAddr(pool[0])
+	if !ok {
+		return nil
+	}
+	return w.Net.QueryCounts(netsim.Endpoint{Addr: addr, Port: netsim.PortDNS})
+}
 
 func main() {
 	sites := flag.Int("sites", 2000, "number of websites")
@@ -46,10 +65,6 @@ func main() {
 	cfg.SwitchRate *= *boost
 	cfg.JoinRate *= *boost
 
-	fmt.Printf("building world: %d sites (seed %d)...\n", *sites, *seed)
-	start := time.Now()
-	w := world.New(cfg)
-	fmt.Printf("world ready in %v; running %d-week campaign...\n\n", time.Since(start).Round(time.Millisecond), *weeks)
 	if cf.Resume {
 		fmt.Fprintf(os.Stderr, "rrscan: resuming campaign state from %s\n", cf.CheckpointDir)
 	}
@@ -61,19 +76,59 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := experiment.Residual{
-		World:              w,
-		Weeks:              *weeks,
-		WarmupDays:         *warmup,
-		IncapsulaStartWeek: *incStart,
-		Workers:            cf.Workers,
-		Policy:             &policy,
-		Obs:                reg,
-		SnapWindow:         cf.SnapWindow,
-		CheckpointDir:      cf.CheckpointDir,
-		CheckpointEvery:    cf.CheckpointEvery,
-		Resume:             cf.Resume,
-	}.Run()
+	var res experiment.ResidualResult
+	var fig7 map[netsim.Region]uint64
+	if cf.Shards > 1 {
+		fmt.Printf("running %d-week campaign over %d sites in %d shards (seed %d)...\n\n",
+			*weeks, *sites, cf.Shards, *seed)
+		start := time.Now()
+		run := shardrun.Residual{
+			Config:             cfg,
+			Weeks:              *weeks,
+			WarmupDays:         *warmup,
+			IncapsulaStartWeek: *incStart,
+			Shards:             cf.Shards,
+			ShardWorkers:       cf.ShardWorkers,
+			Workers:            cf.Workers,
+			Policy:             &policy,
+			Obs:                reg,
+			SnapWindow:         cf.SnapWindow,
+			CheckpointDir:      cf.CheckpointDir,
+			CheckpointEvery:    cf.CheckpointEvery,
+			Resume:             cf.Resume,
+			// Fig. 7 load lives on each shard's network, not in the
+			// result; AfterShard runs serialized, so summing here is safe.
+			AfterShard: func(_ int, w *world.World) {
+				for region, n := range poolCounts(w) {
+					if fig7 == nil {
+						fig7 = make(map[netsim.Region]uint64)
+					}
+					fig7[region] += n
+				}
+			},
+		}.Run()
+		res = run.Merged
+		fmt.Printf("sharded campaign done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("building world: %d sites (seed %d)...\n", *sites, *seed)
+		start := time.Now()
+		w := world.New(cfg)
+		fmt.Printf("world ready in %v; running %d-week campaign...\n\n", time.Since(start).Round(time.Millisecond), *weeks)
+		res = experiment.Residual{
+			World:              w,
+			Weeks:              *weeks,
+			WarmupDays:         *warmup,
+			IncapsulaStartWeek: *incStart,
+			Workers:            cf.Workers,
+			Policy:             &policy,
+			Obs:                reg,
+			SnapWindow:         cf.SnapWindow,
+			CheckpointDir:      cf.CheckpointDir,
+			CheckpointEvery:    cf.CheckpointEvery,
+			Resume:             cf.Resume,
+		}.Run()
+		fig7 = poolCounts(w)
+	}
 
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
@@ -87,14 +142,10 @@ func main() {
 	fmt.Println(report.TableVI(res))
 	fmt.Println(report.Figure9(res))
 
-	// Fig. 7: per-PoP query counts of one Cloudflare pool nameserver.
-	if cf, ok := w.Provider(dps.Cloudflare); ok {
-		if pool := cf.NSPool(); len(pool) > 0 {
-			if addr, ok := cf.NSPoolAddr(pool[0]); ok {
-				counts := w.Net.QueryCounts(netsim.Endpoint{Addr: addr, Port: netsim.PortDNS})
-				fmt.Println(report.Figure7(counts))
-			}
-		}
+	// Fig. 7: per-PoP query counts of one Cloudflare pool nameserver
+	// (summed across shard worlds when sharded).
+	if len(fig7) > 0 {
+		fmt.Println(report.Figure7(fig7))
 	}
 
 	if err := cmdutil.EmitMetrics(reg, cf.Metrics, cf.MetricsOut); err != nil {

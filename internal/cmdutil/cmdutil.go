@@ -40,6 +40,10 @@ type CampaignFlags struct {
 	CheckpointDir   string
 	CheckpointEvery int
 	Resume          bool
+	// Shards / ShardWorkers control shard-parallel execution (see
+	// internal/shardrun). Shards == 1 keeps the unsharded path.
+	Shards       int
+	ShardWorkers int
 }
 
 // RegisterCampaignFlags registers the shared campaign flag block on fs.
@@ -58,6 +62,8 @@ func RegisterCampaignFlags(fs *flag.FlagSet, snapWindowHelp string) *CampaignFla
 	fs.StringVar(&f.CheckpointDir, "checkpoint-dir", "", "directory for durable campaign state (checkpoints + write-ahead log); empty disables durability")
 	fs.IntVar(&f.CheckpointEvery, "checkpoint-every", 7, "world days between full checkpoints (the write-ahead log covers the rounds in between)")
 	fs.BoolVar(&f.Resume, "resume", false, "resume the campaign recorded in -checkpoint-dir instead of starting over (same seed and configuration required)")
+	fs.IntVar(&f.Shards, "shards", 1, "partition the population into this many deterministic shards, each an independent campaign whose results merge into one report (1 = unsharded)")
+	fs.IntVar(&f.ShardWorkers, "shard-workers", 0, "how many shard campaigns run concurrently (0 = all at once); only meaningful with -shards > 1")
 	return f
 }
 
@@ -71,6 +77,12 @@ func (f *CampaignFlags) Validate() error {
 	}
 	if f.Resume && f.CheckpointDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if f.Shards < 1 {
+		return fmt.Errorf("-shards must be at least 1")
+	}
+	if f.ShardWorkers < 0 {
+		return fmt.Errorf("-shard-workers must not be negative")
 	}
 	return nil
 }

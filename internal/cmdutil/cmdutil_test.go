@@ -1,0 +1,91 @@
+package cmdutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// parse registers the shared flag block on a throwaway FlagSet, parses
+// args, and validates — the exact path both binaries run before any
+// campaign work starts, so a bad combination must fail here, fast,
+// not an hour into a run.
+func parse(t *testing.T, args ...string) (*CampaignFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{}) // silence usage spam on bad flags
+	f := RegisterCampaignFlags(fs, "retention help")
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("flag parse: %v", err)
+	}
+	return f, f.Validate()
+}
+
+func TestCampaignFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // empty = must validate
+	}{
+		{name: "defaults", args: nil},
+		{name: "sharded", args: []string{"-shards", "8", "-shard-workers", "2"}},
+		{name: "sharded-all-at-once", args: []string{"-shards", "4", "-shard-workers", "0"}},
+		{name: "resume-with-dir", args: []string{"-resume", "-checkpoint-dir", "ckpt"}},
+		{name: "sharded-resume", args: []string{"-shards", "4", "-resume", "-checkpoint-dir", "ckpt"}},
+
+		{name: "resume-without-dir", args: []string{"-resume"}, wantErr: "-resume requires -checkpoint-dir"},
+		{name: "zero-shards", args: []string{"-shards", "0"}, wantErr: "-shards must be at least 1"},
+		{name: "negative-shards", args: []string{"-shards", "-2"}, wantErr: "-shards must be at least 1"},
+		{name: "negative-shard-workers", args: []string{"-shard-workers", "-1"}, wantErr: "-shard-workers must not be negative"},
+		{name: "zero-workers", args: []string{"-workers", "0"}, wantErr: "-workers and -retries must be positive"},
+		{name: "zero-retries", args: []string{"-retries", "0"}, wantErr: "-workers and -retries must be positive"},
+		{name: "zero-checkpoint-every", args: []string{"-checkpoint-every", "0"}, wantErr: "-checkpoint-every must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parse(t, tc.args...)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCampaignFlagsDefaults(t *testing.T) {
+	f, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards != 1 {
+		t.Errorf("default -shards = %d, want 1 (unsharded)", f.Shards)
+	}
+	if f.ShardWorkers != 0 {
+		t.Errorf("default -shard-workers = %d, want 0 (all at once)", f.ShardWorkers)
+	}
+	if f.Retries != 3 || !f.Hedge {
+		t.Errorf("default policy knobs = retries %d hedge %v, want 3 true", f.Retries, f.Hedge)
+	}
+	if f.CheckpointEvery != 7 {
+		t.Errorf("default -checkpoint-every = %d, want 7", f.CheckpointEvery)
+	}
+}
+
+func TestCampaignFlagsPolicy(t *testing.T) {
+	f, err := parse(t, "-retries", "5", "-hedge=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Policy()
+	if p.MaxAttempts != 5 || p.Hedge {
+		t.Fatalf("Policy() = attempts %d hedge %v, want 5 false", p.MaxAttempts, p.Hedge)
+	}
+}

@@ -1,0 +1,111 @@
+package behavior
+
+// Shard-merge helpers. A shard-parallel campaign (internal/shardrun)
+// runs one Tracker per population shard; because the FSM keeps purely
+// per-apex state, a partitioned population's trackers observe exactly
+// the records an unsharded tracker would, and their outputs recombine
+// by ordered merge. The merge functions below reproduce the canonical
+// orders the Tracker itself emits — Detections in day-major
+// (apex, kind) order, PauseWindows sorted by (start day, apex, end
+// day) — so Merge(shard outputs) is value-identical to the unsharded
+// tracker's output. All three are commutative and associative over
+// disjoint apex populations, with nil as the identity element (pinned
+// by the merge-law property tests).
+
+// MergeDetections merges two detection streams from disjoint apex
+// populations into one canonically ordered stream: ascending Day, then
+// Apex, then Kind — the global order EndDay's per-day sort induces,
+// since days strictly increase. It returns nil when both inputs are
+// empty, matching Tracker.Detections on a quiet campaign.
+func MergeDetections(a, b []Detection) []Detection {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Detection, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if detectionLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func detectionLess(x, y Detection) bool {
+	if x.Day != y.Day {
+		return x.Day < y.Day
+	}
+	if x.Apex != y.Apex {
+		return x.Apex < y.Apex
+	}
+	return x.Kind < y.Kind
+}
+
+// MergePauseWindows merges two closed-window lists from disjoint apex
+// populations, keeping the canonical PauseWindows order: ascending
+// StartDay, then Apex, then EndDay. Nil in, nil out.
+func MergePauseWindows(a, b []PauseWindow) []PauseWindow {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]PauseWindow, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if pauseWindowLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func pauseWindowLess(x, y PauseWindow) bool {
+	if x.StartDay != y.StartDay {
+		return x.StartDay < y.StartDay
+	}
+	if x.Apex != y.Apex {
+		return x.Apex < y.Apex
+	}
+	return x.EndDay < y.EndDay
+}
+
+// MergeCountsByDay sums two Fig. 3 per-day per-kind count maps. It
+// returns nil only when both inputs are nil; an empty non-nil map (what
+// CountsByDay returns on a quiet campaign) merges to an empty non-nil
+// map, so merged results stay DeepEqual to unsharded ones.
+func MergeCountsByDay(a, b map[int]map[Kind]int) map[int]map[Kind]int {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make(map[int]map[Kind]int, len(a)+len(b))
+	for _, src := range []map[int]map[Kind]int{a, b} {
+		for day, counts := range src {
+			dst := out[day]
+			if dst == nil {
+				dst = make(map[Kind]int, len(counts))
+				out[day] = dst
+			}
+			for kind, n := range counts {
+				dst[kind] += n
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package behavior
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+// Merge-law property tests over randomized, seed-deterministic inputs.
+// The shard driver recombines per-shard tracker outputs in shard
+// completion order, so each merge must be commutative and associative
+// over disjoint apex populations with nil as the identity — and a
+// partition of a canonical stream must merge back to exactly that
+// stream.
+
+func randomApex(rng *rand.Rand) dnsmsg.Name {
+	return dnsmsg.Name(fmt.Sprintf("site-%04d.example.", rng.Intn(400)))
+}
+
+func randomKind(rng *rand.Rand) Kind {
+	kinds := AllKinds()
+	return kinds[rng.Intn(len(kinds))]
+}
+
+// randomDetections builds a canonically ordered detection stream (the
+// order EndDay emits: ascending day, then apex, then kind).
+func randomDetections(rng *rand.Rand, n int) []Detection {
+	seen := make(map[Detection]bool)
+	out := make([]Detection, 0, n)
+	for len(out) < n {
+		d := Detection{
+			Day:  rng.Intn(30),
+			Apex: randomApex(rng),
+			Kind: randomKind(rng),
+		}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return detectionLess(out[i], out[j]) })
+	return out
+}
+
+func randomPauseWindows(rng *rand.Rand, n int) []PauseWindow {
+	seen := make(map[PauseWindow]bool)
+	out := make([]PauseWindow, 0, n)
+	for len(out) < n {
+		start := rng.Intn(25)
+		w := PauseWindow{
+			Apex:     randomApex(rng),
+			Provider: dps.Cloudflare,
+			StartDay: start,
+			EndDay:   start + 1 + rng.Intn(10),
+			Resumed:  rng.Intn(2) == 0,
+			Censored: rng.Intn(8) == 0,
+		}
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return pauseWindowLess(out[i], out[j]) })
+	return out
+}
+
+func randomCounts(rng *rand.Rand) map[int]map[Kind]int {
+	out := make(map[int]map[Kind]int)
+	for day := 0; day < 10; day++ {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		counts := make(map[Kind]int)
+		for _, k := range AllKinds() {
+			if rng.Intn(2) == 0 {
+				counts[k] = rng.Intn(20)
+			}
+		}
+		out[day] = counts
+	}
+	return out
+}
+
+// partitionDetections splits a stream by apex hash into k shard streams,
+// preserving relative order — exactly what per-shard trackers over a
+// partitioned population emit.
+func partitionDetections(all []Detection, k int) [][]Detection {
+	parts := make([][]Detection, k)
+	for _, d := range all {
+		i := int(d.Apex[5]-'0') % k
+		parts[i] = append(parts[i], d)
+	}
+	return parts
+}
+
+func TestMergeDetectionsRecombinesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		all := randomDetections(rng, 3+rng.Intn(60))
+		k := 2 + rng.Intn(6)
+		parts := partitionDetections(all, k)
+		// Fold in a random order — shard completion order is arbitrary.
+		var merged []Detection
+		for _, i := range rng.Perm(k) {
+			merged = MergeDetections(merged, parts[i])
+		}
+		if !reflect.DeepEqual(merged, all) {
+			t.Fatalf("trial %d (k=%d): partition did not recombine\nmerged: %v\nwant:   %v",
+				trial, k, merged, all)
+		}
+	}
+}
+
+func TestMergeDetectionsLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 100; trial++ {
+		parts := partitionDetections(randomDetections(rng, 3+rng.Intn(40)), 3)
+		a, b, c := parts[0], parts[1], parts[2]
+		if !reflect.DeepEqual(MergeDetections(a, b), MergeDetections(b, a)) {
+			t.Fatalf("trial %d: MergeDetections not commutative", trial)
+		}
+		left := MergeDetections(MergeDetections(a, b), c)
+		right := MergeDetections(a, MergeDetections(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: MergeDetections not associative", trial)
+		}
+		if got := MergeDetections(a, nil); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: nil is not a right identity: %v != %v", trial, got, a)
+		}
+		if got := MergeDetections(nil, a); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: nil is not a left identity: %v != %v", trial, got, a)
+		}
+	}
+	if MergeDetections(nil, nil) != nil {
+		t.Fatal("merging two empty streams must stay nil (quiet campaigns return nil)")
+	}
+}
+
+func TestMergePauseWindowsRecombinesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 100; trial++ {
+		all := randomPauseWindows(rng, 3+rng.Intn(50))
+		k := 2 + rng.Intn(6)
+		parts := make([][]PauseWindow, k)
+		for _, w := range all {
+			i := int(w.Apex[5]-'0') % k
+			parts[i] = append(parts[i], w)
+		}
+		var merged []PauseWindow
+		for _, i := range rng.Perm(k) {
+			merged = MergePauseWindows(merged, parts[i])
+		}
+		if !reflect.DeepEqual(merged, all) {
+			t.Fatalf("trial %d (k=%d): partition did not recombine\nmerged: %v\nwant:   %v",
+				trial, k, merged, all)
+		}
+	}
+	if MergePauseWindows(nil, nil) != nil {
+		t.Fatal("merging two empty window lists must stay nil")
+	}
+}
+
+func TestMergeCountsByDayLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randomCounts(rng), randomCounts(rng), randomCounts(rng)
+		if !reflect.DeepEqual(MergeCountsByDay(a, b), MergeCountsByDay(b, a)) {
+			t.Fatalf("trial %d: MergeCountsByDay not commutative", trial)
+		}
+		left := MergeCountsByDay(MergeCountsByDay(a, b), c)
+		right := MergeCountsByDay(a, MergeCountsByDay(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: MergeCountsByDay not associative", trial)
+		}
+	}
+	if MergeCountsByDay(nil, nil) != nil {
+		t.Fatal("nil·nil must stay nil")
+	}
+	// An empty non-nil map (a quiet campaign's CountsByDay) must stay
+	// non-nil through a merge so merged results remain DeepEqual to
+	// unsharded ones.
+	if got := MergeCountsByDay(map[int]map[Kind]int{}, nil); got == nil || len(got) != 0 {
+		t.Fatalf("empty·nil = %v, want empty non-nil", got)
+	}
+	// Summing: each day's per-kind counts add.
+	a := map[int]map[Kind]int{1: {Join: 2, Leave: 1}}
+	b := map[int]map[Kind]int{1: {Join: 3}, 2: {Pause: 4}}
+	got := MergeCountsByDay(a, b)
+	want := map[int]map[Kind]int{1: {Join: 5, Leave: 1}, 2: {Pause: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sum merge = %v, want %v", got, want)
+	}
+}

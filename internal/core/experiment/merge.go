@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"sort"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+// Shard-merge layer. The shard-parallel driver (internal/shardrun) runs
+// each population shard as an independent campaign and recombines the
+// per-shard results with the Merge methods below. Every scientific
+// artifact merges exactly — Merge(shard results) ≡ unsharded run,
+// pinned by the shardrun keystone suite — because each is either an
+// order-independent sum over per-apex contributions (breakdowns,
+// Table V rows, counts) or an ordered sequence whose canonical order a
+// k-way merge reproduces (detections, pause windows, weekly reports,
+// exposure sets). The two exceptions are Stats and Sidelined: shared
+// infrastructure queries (zone delegation probes, cache warming) are
+// issued once per shard instead of once per campaign, so the resilience
+// accounting legitimately differs from an unsharded run's. They still
+// merge — by QueryStats.Add and sideline-set union — but equality
+// checks must skip them, the same latitude the serial≡parallel suites
+// allow.
+//
+// All merges are commutative and associative over disjoint shard
+// populations, with the zero result as the identity element (pinned by
+// the merge-law property tests).
+
+// Merge combines two DynamicsResult values from disjoint shards of the
+// same campaign.
+func (r DynamicsResult) Merge(o DynamicsResult) DynamicsResult {
+	return DynamicsResult{
+		Days:         maxInt(r.Days, o.Days),
+		Breakdowns:   mergeBreakdowns(r.Breakdowns, o.Breakdowns),
+		Detections:   behavior.MergeDetections(r.Detections, o.Detections),
+		PauseWindows: behavior.MergePauseWindows(r.PauseWindows, o.PauseWindows),
+		CountsByDay:  behavior.MergeCountsByDay(r.CountsByDay, o.CountsByDay),
+		Unchanged:    mergeUnchanged(r.Unchanged, o.Unchanged),
+		Stats:        r.Stats.Add(o.Stats),
+		Sidelined:    mergeSidelined(r.Sidelined, o.Sidelined),
+	}
+}
+
+// Merge combines two ResidualResult values from disjoint shards of the
+// same campaign.
+func (r ResidualResult) Merge(o ResidualResult) ResidualResult {
+	out := ResidualResult{
+		Weeks:         maxInt(r.Weeks, o.Weeks),
+		Cloudflare:    mergeWeeklyReports(r.Cloudflare, o.Cloudflare),
+		Incapsula:     mergeWeeklyReports(r.Incapsula, o.Incapsula),
+		CFExposure:    r.CFExposure.Merge(o.CFExposure),
+		IncExposure:   r.IncExposure.Merge(o.IncExposure),
+		NSHostsByWeek: mergeWeekHosts(r.NSHostsByWeek, o.NSHostsByWeek),
+		Stats:         r.Stats.Add(o.Stats),
+		Sidelined:     mergeSidelined(r.Sidelined, o.Sidelined),
+	}
+	// NameserverCount is the max over weeks of the merged per-week sets;
+	// taking max(r.Count, o.Count) instead would undercount, since no
+	// single shard sees the whole week's set.
+	for _, hosts := range out.NSHostsByWeek {
+		if len(hosts) > out.NameserverCount {
+			out.NameserverCount = len(hosts)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mergeBreakdowns merges two day-ascending breakdown lists, summing the
+// entries that share a Day (shards of one campaign always do) and
+// keeping singleton days as-is.
+func mergeBreakdowns(a, b []AdoptionBreakdown) []AdoptionBreakdown {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]AdoptionBreakdown, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Day < b[j].Day:
+			out = append(out, cloneBreakdown(a[i]))
+			i++
+		case b[j].Day < a[i].Day:
+			out = append(out, cloneBreakdown(b[j]))
+			j++
+		default:
+			out = append(out, addBreakdowns(a[i], b[j]))
+			i++
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, cloneBreakdown(a[i]))
+	}
+	for ; j < len(b); j++ {
+		out = append(out, cloneBreakdown(b[j]))
+	}
+	return out
+}
+
+func cloneBreakdown(b AdoptionBreakdown) AdoptionBreakdown {
+	out := b
+	if b.ByProvider != nil {
+		out.ByProvider = make(map[dps.ProviderKey]int, len(b.ByProvider))
+		for k, v := range b.ByProvider {
+			out.ByProvider[k] = v
+		}
+	}
+	return out
+}
+
+func addBreakdowns(a, b AdoptionBreakdown) AdoptionBreakdown {
+	out := cloneBreakdown(a)
+	out.Total += b.Total
+	out.Population += b.Population
+	out.TopAdopters += b.TopAdopters
+	out.TopPopulation += b.TopPopulation
+	out.CloudflareNS += b.CloudflareNS
+	out.CloudflareCNAME += b.CloudflareCNAME
+	if b.ByProvider != nil && out.ByProvider == nil {
+		out.ByProvider = make(map[dps.ProviderKey]int, len(b.ByProvider))
+	}
+	for k, v := range b.ByProvider {
+		out.ByProvider[k] += v
+	}
+	return out
+}
+
+// mergeUnchanged sums two Table V maps per provider.
+func mergeUnchanged(a, b map[dps.ProviderKey]*UnchangedRow) map[dps.ProviderKey]*UnchangedRow {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make(map[dps.ProviderKey]*UnchangedRow, len(a)+len(b))
+	for _, src := range []map[dps.ProviderKey]*UnchangedRow{a, b} {
+		for key, row := range src {
+			dst := out[key]
+			if dst == nil {
+				dst = &UnchangedRow{Provider: row.Provider}
+				out[key] = dst
+			}
+			dst.JoinResume += row.JoinResume
+			dst.IPUnchanged += row.IPUnchanged
+		}
+	}
+	return out
+}
+
+// mergeWeeklyReports merges two week-ascending report lists, folding
+// entries that share a Week through filter's Report.Merge.
+func mergeWeeklyReports(a, b []WeeklyReport) []WeeklyReport {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]WeeklyReport, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Week < b[j].Week:
+			out = append(out, a[i])
+			i++
+		case b[j].Week < a[i].Week:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, WeeklyReport{Week: a[i].Week, Report: a[i].Report.Merge(b[j].Report)})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// mergeWeekHosts unions two per-week NS host maps, keeping each week's
+// list sorted and duplicate-free.
+func mergeWeekHosts(a, b map[int][]dnsmsg.Name) map[int][]dnsmsg.Name {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make(map[int][]dnsmsg.Name, len(a)+len(b))
+	for week, hosts := range a {
+		out[week] = append([]dnsmsg.Name(nil), hosts...)
+	}
+	for week, hosts := range b {
+		if existing, ok := out[week]; ok {
+			out[week] = unionSortedNames(existing, hosts)
+		} else {
+			out[week] = append([]dnsmsg.Name(nil), hosts...)
+		}
+	}
+	return out
+}
+
+func unionSortedNames(a, b []dnsmsg.Name) []dnsmsg.Name {
+	seen := make(map[dnsmsg.Name]bool, len(a)+len(b))
+	out := make([]dnsmsg.Name, 0, len(a)+len(b))
+	for _, list := range [][]dnsmsg.Name{a, b} {
+		for _, n := range list {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

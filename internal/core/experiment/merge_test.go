@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/exposure"
+	"rrdps/internal/core/filter"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+// Merge-law property tests for the campaign-level merge layer:
+// breakdowns, Table V rows, per-week NS host sets, and the full
+// DynamicsResult / ResidualResult merges the shard driver folds with.
+// Inputs are randomized but seed-deterministic. Stats and Sidelined are
+// covered by the laws too — they merge (QueryStats.Add, sideline-set
+// union) even though sharded-vs-unsharded equality skips them.
+
+func randomBreakdowns(rng *rand.Rand, days int) []AdoptionBreakdown {
+	out := make([]AdoptionBreakdown, 0, days)
+	for day := 0; day < days; day++ {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		b := AdoptionBreakdown{
+			Day:             day,
+			Total:           rng.Intn(50),
+			Population:      50 + rng.Intn(100),
+			TopAdopters:     rng.Intn(5),
+			TopPopulation:   rng.Intn(10),
+			CloudflareNS:    rng.Intn(30),
+			CloudflareCNAME: rng.Intn(10),
+		}
+		if rng.Intn(5) != 0 {
+			b.ByProvider = map[dps.ProviderKey]int{
+				dps.Cloudflare: rng.Intn(30),
+				dps.Incapsula:  rng.Intn(10),
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func randomUnchanged(rng *rand.Rand) map[dps.ProviderKey]*UnchangedRow {
+	out := make(map[dps.ProviderKey]*UnchangedRow)
+	for _, key := range []dps.ProviderKey{dps.Cloudflare, dps.Incapsula} {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		out[key] = &UnchangedRow{Provider: key, JoinResume: rng.Intn(40), IPUnchanged: rng.Intn(40)}
+	}
+	return out
+}
+
+func randomWeekHosts(rng *rand.Rand, weeks int) map[int][]dnsmsg.Name {
+	if rng.Intn(6) == 0 {
+		return nil
+	}
+	out := make(map[int][]dnsmsg.Name)
+	for week := 1; week <= weeks; week++ {
+		var hosts []dnsmsg.Name
+		for i := 0; i < rng.Intn(6); i++ {
+			hosts = append(hosts, dnsmsg.Name(fmt.Sprintf("ns%d.cf.example.", rng.Intn(10))))
+		}
+		out[week] = unionSortedNames(hosts, nil)
+	}
+	return out
+}
+
+func TestMergeBreakdownsSumsSharedDays(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomBreakdowns(rng, 8), randomBreakdowns(rng, 8)
+		merged := mergeBreakdowns(a, b)
+		byDay := make(map[int]AdoptionBreakdown)
+		for _, x := range merged {
+			byDay[x.Day] = x
+		}
+		for _, src := range [][]AdoptionBreakdown{a, b} {
+			for _, x := range src {
+				if _, ok := byDay[x.Day]; !ok {
+					t.Fatalf("trial %d: day %d lost in merge", trial, x.Day)
+				}
+			}
+		}
+		for day, m := range byDay {
+			want := 0
+			for _, src := range [][]AdoptionBreakdown{a, b} {
+				for _, x := range src {
+					if x.Day == day {
+						want += x.Total
+					}
+				}
+			}
+			if m.Total != want {
+				t.Fatalf("trial %d day %d: Total = %d, want %d", trial, day, m.Total, want)
+			}
+		}
+		// Day-ascending order is preserved.
+		for i := 1; i < len(merged); i++ {
+			if merged[i-1].Day >= merged[i].Day {
+				t.Fatalf("trial %d: merged breakdowns out of order: %v", trial, merged)
+			}
+		}
+	}
+}
+
+func TestMergeBreakdownsLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randomBreakdowns(rng, 6), randomBreakdowns(rng, 6), randomBreakdowns(rng, 6)
+		if !reflect.DeepEqual(mergeBreakdowns(a, b), mergeBreakdowns(b, a)) {
+			t.Fatalf("trial %d: mergeBreakdowns not commutative", trial)
+		}
+		left := mergeBreakdowns(mergeBreakdowns(a, b), c)
+		right := mergeBreakdowns(a, mergeBreakdowns(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: mergeBreakdowns not associative\nleft:  %v\nright: %v", trial, left, right)
+		}
+		if got := mergeBreakdowns(a, nil); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: nil is not an identity", trial)
+		}
+	}
+}
+
+func TestMergeUnchangedLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randomUnchanged(rng), randomUnchanged(rng), randomUnchanged(rng)
+		if !reflect.DeepEqual(mergeUnchanged(a, b), mergeUnchanged(b, a)) {
+			t.Fatalf("trial %d: mergeUnchanged not commutative", trial)
+		}
+		left := mergeUnchanged(mergeUnchanged(a, b), c)
+		right := mergeUnchanged(a, mergeUnchanged(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: mergeUnchanged not associative", trial)
+		}
+	}
+	if mergeUnchanged(nil, nil) != nil {
+		t.Fatal("nil·nil must stay nil")
+	}
+	a := map[dps.ProviderKey]*UnchangedRow{
+		dps.Cloudflare: {Provider: dps.Cloudflare, JoinResume: 3, IPUnchanged: 2},
+	}
+	got := mergeUnchanged(a, a)
+	if got[dps.Cloudflare].JoinResume != 6 || got[dps.Cloudflare].IPUnchanged != 4 {
+		t.Fatalf("sum merge = %+v", got[dps.Cloudflare])
+	}
+	if got[dps.Cloudflare] == a[dps.Cloudflare] {
+		t.Fatal("merge must build fresh rows, not alias inputs")
+	}
+}
+
+func TestMergeWeekHostsLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randomWeekHosts(rng, 4), randomWeekHosts(rng, 4), randomWeekHosts(rng, 4)
+		if !reflect.DeepEqual(mergeWeekHosts(a, b), mergeWeekHosts(b, a)) {
+			t.Fatalf("trial %d: mergeWeekHosts not commutative", trial)
+		}
+		left := mergeWeekHosts(mergeWeekHosts(a, b), c)
+		right := mergeWeekHosts(a, mergeWeekHosts(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: mergeWeekHosts not associative\nleft:  %v\nright: %v", trial, left, right)
+		}
+	}
+	if mergeWeekHosts(nil, nil) != nil {
+		t.Fatal("nil·nil must stay nil")
+	}
+	// Union with dedup, sorted.
+	a := map[int][]dnsmsg.Name{1: {"a.ns.", "c.ns."}}
+	b := map[int][]dnsmsg.Name{1: {"b.ns.", "c.ns."}, 2: nil}
+	got := mergeWeekHosts(a, b)
+	if !reflect.DeepEqual(got[1], []dnsmsg.Name{"a.ns.", "b.ns.", "c.ns."}) {
+		t.Fatalf("week 1 union = %v", got[1])
+	}
+	if got[2] != nil {
+		t.Fatalf("week 2 must stay nil, got %v", got[2])
+	}
+}
+
+// randomDynamicsResult assembles a result from the same randomized
+// pieces the per-artifact tests use.
+func randomDynamicsResult(rng *rand.Rand) DynamicsResult {
+	res := DynamicsResult{
+		Days:       5 + rng.Intn(5),
+		Breakdowns: randomBreakdowns(rng, 8),
+		Unchanged:  randomUnchanged(rng),
+	}
+	for i := 0; i < rng.Intn(10); i++ {
+		res.Detections = append(res.Detections, behavior.Detection{
+			Day:  i,
+			Apex: dnsmsg.Name(fmt.Sprintf("site-%03d.example.", rng.Intn(100))),
+			Kind: behavior.Join,
+		})
+	}
+	return res
+}
+
+func TestDynamicsResultMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(421))
+	for trial := 0; trial < 50; trial++ {
+		a, b := randomDynamicsResult(rng), randomDynamicsResult(rng)
+		ab, ba := a.Merge(b), b.Merge(a)
+		// Detections ties on (Day, Apex, Kind) can order either way, so
+		// commutativity is checked on the other artifacts.
+		if !reflect.DeepEqual(ab.Breakdowns, ba.Breakdowns) ||
+			!reflect.DeepEqual(ab.Unchanged, ba.Unchanged) ||
+			ab.Days != ba.Days {
+			t.Fatalf("trial %d: DynamicsResult.Merge not commutative", trial)
+		}
+		if got := a.Merge(DynamicsResult{}); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: zero result is not a right identity\ngot: %+v\na:   %+v", trial, got, a)
+		}
+		if got := (DynamicsResult{}).Merge(a); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: zero result is not a left identity\ngot: %+v\na:   %+v", trial, got, a)
+		}
+	}
+}
+
+func TestResidualResultMergeRecomputesNameserverCount(t *testing.T) {
+	a := ResidualResult{
+		Weeks:         2,
+		CFExposure:    exposure.NewTracker(),
+		IncExposure:   exposure.NewTracker(),
+		NSHostsByWeek: map[int][]dnsmsg.Name{1: {"a.ns.", "b.ns."}, 2: {"a.ns."}},
+	}
+	a.NameserverCount = 2
+	b := ResidualResult{
+		Weeks:         2,
+		CFExposure:    exposure.NewTracker(),
+		IncExposure:   exposure.NewTracker(),
+		NSHostsByWeek: map[int][]dnsmsg.Name{1: {"c.ns."}, 2: {"b.ns.", "d.ns."}},
+	}
+	b.NameserverCount = 2
+	merged := a.Merge(b)
+	// Week 1 union: a,b,c = 3; week 2 union: a,b,d = 3. A max of the
+	// per-shard counts would claim 2.
+	if merged.NameserverCount != 3 {
+		t.Fatalf("NameserverCount = %d, want 3 (union before max)", merged.NameserverCount)
+	}
+	if !reflect.DeepEqual(merged.NSHostsByWeek[1], []dnsmsg.Name{"a.ns.", "b.ns.", "c.ns."}) {
+		t.Fatalf("week 1 = %v", merged.NSHostsByWeek[1])
+	}
+}
+
+func TestResidualResultMergeWeeklyReports(t *testing.T) {
+	mk := func(week, scanned int) WeeklyReport {
+		return WeeklyReport{Week: week, Report: filter.Report{Provider: dps.Cloudflare, Scanned: scanned}}
+	}
+	a := ResidualResult{
+		Weeks: 2, CFExposure: exposure.NewTracker(), IncExposure: exposure.NewTracker(),
+		Cloudflare: []WeeklyReport{mk(1, 10), mk(2, 12)},
+	}
+	b := ResidualResult{
+		Weeks: 2, CFExposure: exposure.NewTracker(), IncExposure: exposure.NewTracker(),
+		Cloudflare: []WeeklyReport{mk(1, 5), mk(2, 7)},
+	}
+	merged := a.Merge(b)
+	if len(merged.Cloudflare) != 2 {
+		t.Fatalf("weeks = %d, want 2", len(merged.Cloudflare))
+	}
+	if merged.Cloudflare[0].Report.Scanned != 15 || merged.Cloudflare[1].Report.Scanned != 19 {
+		t.Fatalf("scanned = %d, %d; want 15, 19",
+			merged.Cloudflare[0].Report.Scanned, merged.Cloudflare[1].Report.Scanned)
+	}
+}

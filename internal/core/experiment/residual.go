@@ -39,8 +39,16 @@ type ResidualResult struct {
 	CFExposure  *exposure.Tracker
 	IncExposure *exposure.Tracker
 	// NameserverCount is how many Cloudflare NS-rerouting nameservers the
-	// scan discovered (the paper's 391).
+	// scan discovered (the paper's 391) — the largest single week's count.
 	NameserverCount int
+	// NSHostsByWeek records each scan week's discovered NS-rerouting
+	// hosts, sorted. NameserverCount derives from it (max weekly set
+	// size). The per-week sets exist so shard merges stay exact:
+	// discovery accumulates per record, so the union of the shards'
+	// weekly sets equals the whole population's weekly set, and the max
+	// must be taken after that union — merging the per-shard maxima
+	// alone would undercount.
+	NSHostsByWeek map[int][]dnsmsg.Name
 	// Stats aggregates the campaign's resilience accounting: the shared
 	// collector/filter resolver (counted once) plus every scan vantage
 	// client.
@@ -63,6 +71,11 @@ type Residual struct {
 	// re-resolution runs, delaying that case study (the paper's Incapsula
 	// study covers the last three weeks). Zero or one starts at week 1.
 	IncapsulaStartWeek int
+	// Keep, when non-nil, restricts the campaign to the domains it
+	// accepts. The shard-parallel driver (internal/shardrun) partitions
+	// the apex population by giving each shard's campaign its membership
+	// predicate; an unsharded campaign leaves it nil.
+	Keep func(alexa.Domain) bool
 	// WarmupDays advances the world before the first scan so the
 	// population carries history (terminated customers, stale records),
 	// as the real Internet does. Snapshots are still collected weekly
@@ -119,10 +132,13 @@ type Residual struct {
 	// simply starts from the beginning.
 	Resume bool
 
-	// stopAfterRounds, when positive, stops the campaign after that many
+	// StopAfterRounds, when positive, stops the campaign after that many
 	// collection rounds (warm-up rounds count) and returns the partial
 	// result — the test hook that simulates a kill at a round boundary.
-	stopAfterRounds int
+	// Exported so the shard-parallel driver's crash/resume suite
+	// (internal/shardrun) can kill one shard's campaign while its
+	// siblings run to completion.
+	StopAfterRounds int
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
@@ -168,7 +184,11 @@ func (r Residual) setup() *residualEnv {
 	resolver := w.NewResolver(netsim.RegionOregon)
 	domains := make([]alexa.Domain, 0, len(w.Sites()))
 	for _, s := range w.Sites() {
-		domains = append(domains, s.Domain())
+		dom := s.Domain()
+		if r.Keep != nil && !r.Keep(dom) {
+			continue
+		}
+		domains = append(domains, dom)
 	}
 	collector := collect.New(resolver, domains)
 	matcher := match.New(w.Registry, dps.Profiles())
@@ -310,9 +330,7 @@ func (r Residual) runLegacy(e *residualEnv) ResidualResult {
 		e.cnameLib.AddSnapshot(snap)
 
 		nsHosts, nsAddrs := rrscan.DiscoverNameservers([]collect.Snapshot{snap}, e.cfProfile, e.resolver)
-		if len(nsHosts) > res.NameserverCount {
-			res.NameserverCount = len(nsHosts)
-		}
+		res.addWeekHosts(week, nsHosts)
 
 		r.scanWeek(&res, e, week, nsAddrs)
 
@@ -377,6 +395,7 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 				startWeek = cur.NextWeek
 				baseStats = cur.BaseStats
 				res.NameserverCount = cur.NameserverCount
+				res.NSHostsByWeek = cur.NSHostsByWeek
 				res.Cloudflare = cur.Cloudflare
 				res.Incapsula = cur.Incapsula
 				res.CFExposure = exposure.RestoreTracker(cur.CFExposure)
@@ -434,7 +453,7 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 				panic(fmt.Sprintf("experiment: %v", err))
 			}
 		}
-		return r.stopAfterRounds > 0 && rounds >= r.stopAfterRounds && !force
+		return r.StopAfterRounds > 0 && rounds >= r.StopAfterRounds && !force
 	}
 
 	// Warm-up: age the world so the first scan already sees residue, and
@@ -476,9 +495,7 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 			disc.AddRecord(rec)
 		}
 		nsHosts, nsAddrs := disc.Resolve(e.resolver)
-		if len(nsHosts) > res.NameserverCount {
-			res.NameserverCount = len(nsHosts)
-		}
+		res.addWeekHosts(week, nsHosts)
 
 		r.scanWeek(&res, e, week, nsAddrs)
 
@@ -510,6 +527,19 @@ func mergeSidelined(lists ...[]netip.Addr) []netip.Addr {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
+}
+
+// addWeekHosts records one week's discovered NS-rerouting hosts and
+// folds the week into NameserverCount. hosts arrive sorted from the
+// discovery's Resolve.
+func (r *ResidualResult) addWeekHosts(week int, hosts []dnsmsg.Name) {
+	if r.NSHostsByWeek == nil {
+		r.NSHostsByWeek = make(map[int][]dnsmsg.Name)
+	}
+	r.NSHostsByWeek[week] = append([]dnsmsg.Name(nil), hosts...)
+	if len(hosts) > r.NameserverCount {
+		r.NameserverCount = len(hosts)
+	}
 }
 
 // TotalHidden returns the distinct hidden-record counts (Table VI totals).

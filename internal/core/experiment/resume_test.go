@@ -36,7 +36,7 @@ func (c dynCfg) build(dir string, resume bool, stopAfter int) Dynamics {
 		CheckpointDir:   dir,
 		CheckpointEvery: c.every,
 		Resume:          resume,
-		stopAfterDays:   stopAfter,
+		StopAfterDays:   stopAfter,
 	}
 	if c.longProb > 0 {
 		d.LongIntervalProb = c.longProb
@@ -191,7 +191,7 @@ func (c resCfg) build(dir string, resume bool, stopAfter int) Residual {
 		CheckpointDir:      dir,
 		CheckpointEvery:    c.every,
 		Resume:             resume,
-		stopAfterRounds:    stopAfter,
+		StopAfterRounds:    stopAfter,
 	}
 }
 

@@ -1,0 +1,62 @@
+package exposure
+
+import "rrdps/internal/dnsmsg"
+
+// Merge returns a new tracker holding the week-wise union of two
+// trackers' observations — the shard-parallel recombination
+// (internal/shardrun). Shard campaigns observe the same week labels
+// over disjoint apex populations, so the per-week set union reproduces
+// the unsharded tracker's observations exactly; every derived artifact
+// (WeeklyCounts, TotalHidden/TotalVerified, the Fig. 9 Timeline) then
+// matches by construction. Weeks present in only one tracker are kept
+// as-is, so Merge also tolerates shards resumed to different lengths.
+// Commutative and associative (set union), with the empty tracker — or
+// nil, which merges as empty — as the identity element.
+func (t *Tracker) Merge(o *Tracker) *Tracker {
+	out := NewTracker()
+	var a, b []WeekObservation
+	if t != nil {
+		a = t.weeks
+	}
+	if o != nil {
+		b = o.weeks
+	}
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Week < b[j].Week):
+			out.weeks = append(out.weeks, cloneWeek(a[i]))
+			i++
+		case i >= len(a) || b[j].Week < a[i].Week:
+			out.weeks = append(out.weeks, cloneWeek(b[j]))
+			j++
+		default: // same week: union the sets
+			w := cloneWeek(a[i])
+			for apex := range b[j].Hidden {
+				w.Hidden[apex] = true
+			}
+			for apex := range b[j].Verified {
+				w.Verified[apex] = true
+			}
+			out.weeks = append(out.weeks, w)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func cloneWeek(obs WeekObservation) WeekObservation {
+	w := WeekObservation{
+		Week:     obs.Week,
+		Hidden:   make(map[dnsmsg.Name]bool, len(obs.Hidden)),
+		Verified: make(map[dnsmsg.Name]bool, len(obs.Verified)),
+	}
+	for apex := range obs.Hidden {
+		w.Hidden[apex] = true
+	}
+	for apex := range obs.Verified {
+		w.Verified[apex] = true
+	}
+	return w
+}

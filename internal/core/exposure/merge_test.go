@@ -1,0 +1,147 @@
+package exposure
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"rrdps/internal/core/filter"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+// Merge-law property tests over randomized, seed-deterministic
+// trackers. Shard campaigns track exposure over disjoint apex
+// populations with identical week labels; Merge must recombine them to
+// exactly the tracker a single campaign over the union would have
+// built, and must form a commutative monoid with the empty tracker (or
+// nil) as identity.
+
+func trackerEqual(a, b *Tracker) bool {
+	return reflect.DeepEqual(a.ExportState(), b.ExportState())
+}
+
+// randomWeekReport builds a filter report whose hidden rows cover a
+// random apex subset drawn from the given population slice.
+func randomWeekReport(rng *rand.Rand, population []dnsmsg.Name) filter.Report {
+	rep := filter.Report{Provider: dps.Cloudflare}
+	for _, apex := range population {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		h := filter.Hidden{
+			Apex: apex,
+			WWW:  apex.Child("www"),
+			Addr: netip.AddrFrom4([4]byte{10, 0, byte(rng.Intn(256)), byte(rng.Intn(256))}),
+		}
+		rep.Hidden = append(rep.Hidden, h)
+		rep.Outcomes = append(rep.Outcomes, filter.Outcome{Hidden: h, Verified: rng.Intn(2) == 0})
+	}
+	rep.Scanned = len(population)
+	return rep
+}
+
+func population(n int) []dnsmsg.Name {
+	out := make([]dnsmsg.Name, n)
+	for i := range out {
+		out[i] = dnsmsg.Name(fmt.Sprintf("site-%04d.example.", i))
+	}
+	return out
+}
+
+func TestTrackerMergeRecombinesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	pop := population(60)
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(5)
+		shards := make([][]dnsmsg.Name, k)
+		for i, apex := range pop {
+			shards[i%k] = append(shards[i%k], apex)
+		}
+		whole := NewTracker()
+		parts := make([]*Tracker, k)
+		for i := range parts {
+			parts[i] = NewTracker()
+		}
+		for week := 1; week <= 3+rng.Intn(3); week++ {
+			var union filter.Report
+			union.Provider = dps.Cloudflare
+			for i, shard := range shards {
+				rep := randomWeekReport(rng, shard)
+				parts[i].AddWeek(week, rep)
+				union = union.Merge(rep)
+			}
+			whole.AddWeek(week, union)
+		}
+		merged := NewTracker()
+		for _, i := range rng.Perm(k) {
+			merged = merged.Merge(parts[i])
+		}
+		if !trackerEqual(merged, whole) {
+			t.Fatalf("trial %d (k=%d): merged shard trackers != whole-population tracker\nmerged: %+v\nwhole:  %+v",
+				trial, k, merged.ExportState(), whole.ExportState())
+		}
+	}
+}
+
+func TestTrackerMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	pop := population(40)
+	build := func() *Tracker {
+		tr := NewTracker()
+		for week := 1; week <= 1+rng.Intn(4); week++ {
+			tr.AddWeek(week, randomWeekReport(rng, pop))
+		}
+		return tr
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := build(), build(), build()
+		if !trackerEqual(a.Merge(b), b.Merge(a)) {
+			t.Fatalf("trial %d: Merge not commutative", trial)
+		}
+		if !trackerEqual(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+			t.Fatalf("trial %d: Merge not associative", trial)
+		}
+		if !trackerEqual(a.Merge(NewTracker()), a) {
+			t.Fatalf("trial %d: empty tracker is not a right identity", trial)
+		}
+		if !trackerEqual(NewTracker().Merge(a), a) {
+			t.Fatalf("trial %d: empty tracker is not a left identity", trial)
+		}
+		if !trackerEqual(a.Merge(nil), a) {
+			t.Fatalf("trial %d: nil must merge as empty", trial)
+		}
+	}
+}
+
+// Trackers resumed to different lengths (one shard crashed and was
+// re-driven further than a snapshot of another) still merge: weeks
+// present on one side only are kept as-is.
+func TestTrackerMergeUnevenWeeks(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	pop := population(30)
+	a, b := NewTracker(), NewTracker()
+	for week := 1; week <= 4; week++ {
+		a.AddWeek(week, randomWeekReport(rng, pop[:15]))
+		if week <= 2 {
+			b.AddWeek(week, randomWeekReport(rng, pop[15:]))
+		}
+	}
+	merged := a.Merge(b)
+	if merged.Weeks() != 4 {
+		t.Fatalf("merged weeks = %d, want 4", merged.Weeks())
+	}
+	weeks, hidden, _ := merged.WeeklyCounts()
+	aw, ah, _ := a.WeeklyCounts()
+	if !reflect.DeepEqual(weeks, aw) {
+		t.Fatalf("merged week labels %v != %v", weeks, aw)
+	}
+	// Weeks 3-4 exist only in a; their merged counts must match a's.
+	for i, w := range weeks {
+		if w >= 3 && hidden[i] != ah[i] {
+			t.Fatalf("week %d merged hidden = %d, want a's %d", w, hidden[i], ah[i])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package filter
+
+import "fmt"
+
+// Merge combines two reports for the same provider over disjoint apex
+// populations — the shard-parallel recombination (internal/shardrun).
+// Scanned and DroppedByIPFilter are order-independent sums; Hidden and
+// Outcomes merge by ascending apex, preserving each apex's intra-run
+// record order, which reproduces exactly the sorted-apex assembly order
+// Pipeline.Run uses over the whole population. Commutative and
+// associative over disjoint populations, with the zero Report as the
+// identity element. It panics when the two reports name different
+// providers (merging across case studies is always a bug).
+func (r Report) Merge(o Report) Report {
+	provider := r.Provider
+	if provider == "" {
+		provider = o.Provider
+	} else if o.Provider != "" && o.Provider != provider {
+		panic(fmt.Sprintf("filter: merging reports for %q and %q", r.Provider, o.Provider))
+	}
+	out := Report{
+		Provider:          provider,
+		Scanned:           r.Scanned + o.Scanned,
+		DroppedByIPFilter: r.DroppedByIPFilter + o.DroppedByIPFilter,
+	}
+	out.Hidden = mergeHidden(r.Hidden, o.Hidden)
+	out.Outcomes = mergeOutcomes(r.Outcomes, o.Outcomes)
+	return out
+}
+
+func mergeHidden(a, b []Hidden) []Hidden {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Hidden, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Stable on apex ties so a merge over overlapping populations is
+		// still deterministic; shard populations are disjoint, so ties
+		// never occur there.
+		if a[i].Apex <= b[j].Apex {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func mergeOutcomes(a, b []Outcome) []Outcome {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Outcome, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Apex <= b[j].Apex {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,119 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dps"
+)
+
+// Merge-law property tests over randomized, seed-deterministic reports.
+// Shard campaigns produce one Report per provider per week over
+// disjoint apex populations; the driver folds them in completion order,
+// so Merge must be commutative and associative over disjoint
+// populations with the zero Report as identity, and a partition of a
+// full report must merge back to exactly that report.
+
+// randomReport builds a pipeline-shaped report: Hidden and Outcomes in
+// ascending-apex order over a random apex subset.
+func randomReport(rng *rand.Rand, provider dps.ProviderKey) Report {
+	apexes := make([]dnsmsg.Name, 0, 20)
+	seen := make(map[dnsmsg.Name]bool)
+	for len(apexes) < 3+rng.Intn(17) {
+		a := dnsmsg.Name(fmt.Sprintf("site-%04d.example.", rng.Intn(2000)))
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		apexes = append(apexes, a)
+	}
+	sort.Slice(apexes, func(i, j int) bool { return apexes[i] < apexes[j] })
+	rep := Report{
+		Provider:          provider,
+		Scanned:           len(apexes) + rng.Intn(50),
+		DroppedByIPFilter: rng.Intn(30),
+	}
+	for _, a := range apexes {
+		h := Hidden{
+			Apex: a,
+			WWW:  a.Child("www"),
+			Addr: netip.AddrFrom4([4]byte{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}),
+		}
+		rep.Hidden = append(rep.Hidden, h)
+		rep.Outcomes = append(rep.Outcomes, Outcome{Hidden: h, Verified: rng.Intn(2) == 0})
+	}
+	return rep
+}
+
+// split partitions a report's per-apex rows into k shard reports,
+// preserving order, and spreads the scalar tallies across them.
+func split(rep Report, k int, rng *rand.Rand) []Report {
+	parts := make([]Report, k)
+	for i := range parts {
+		parts[i].Provider = rep.Provider
+	}
+	for n, h := range rep.Hidden {
+		i := rng.Intn(k)
+		parts[i].Hidden = append(parts[i].Hidden, h)
+		parts[i].Outcomes = append(parts[i].Outcomes, rep.Outcomes[n])
+	}
+	for n := 0; n < rep.Scanned; n++ {
+		parts[rng.Intn(k)].Scanned++
+	}
+	for n := 0; n < rep.DroppedByIPFilter; n++ {
+		parts[rng.Intn(k)].DroppedByIPFilter++
+	}
+	return parts
+}
+
+func TestReportMergeRecombinesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 100; trial++ {
+		rep := randomReport(rng, dps.Cloudflare)
+		parts := split(rep, 2+rng.Intn(6), rng)
+		var merged Report
+		for _, i := range rng.Perm(len(parts)) {
+			merged = merged.Merge(parts[i])
+		}
+		if !reflect.DeepEqual(merged, rep) {
+			t.Fatalf("trial %d: partition did not recombine\nmerged: %+v\nwant:   %+v",
+				trial, merged, rep)
+		}
+	}
+}
+
+func TestReportMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 100; trial++ {
+		parts := split(randomReport(rng, dps.Incapsula), 3, rng)
+		a, b, c := parts[0], parts[1], parts[2]
+		if !reflect.DeepEqual(a.Merge(b), b.Merge(a)) {
+			t.Fatalf("trial %d: Merge not commutative", trial)
+		}
+		if !reflect.DeepEqual(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+			t.Fatalf("trial %d: Merge not associative", trial)
+		}
+		if got := a.Merge(Report{}); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: zero Report is not a right identity\ngot: %+v\na:   %+v", trial, got, a)
+		}
+		if got := (Report{}).Merge(a); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: zero Report is not a left identity\ngot: %+v\na:   %+v", trial, got, a)
+		}
+	}
+}
+
+func TestReportMergePanicsAcrossProviders(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging reports for different providers must panic")
+		}
+	}()
+	a := Report{Provider: dps.Cloudflare}
+	b := Report{Provider: dps.Incapsula}
+	a.Merge(b)
+}

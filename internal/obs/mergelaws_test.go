@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Merge-law property tests. The shard-parallel driver folds per-shard
+// registries into one campaign snapshot with Merge, so Merge must be a
+// commutative monoid over snapshots: fold order is whatever shard
+// completion order happened to be, and a shard that recorded nothing
+// must drop out of the fold. The inputs are randomized but
+// seed-deterministic, so a failure reproduces exactly.
+
+// randomSnapshot builds a registry snapshot with a randomized subset of
+// a shared metric-name space — overlapping names across snapshots is
+// the interesting case for merging — including duration histograms.
+func randomSnapshot(rng *rand.Rand) Snapshot {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		if rng.Intn(2) == 0 {
+			r.Counter(fmt.Sprintf("counter.%d", rng.Intn(5))).Add(uint64(rng.Intn(1000)))
+		}
+		if rng.Intn(2) == 0 {
+			r.Gauge(fmt.Sprintf("gauge.%d", rng.Intn(4))).Add(int64(rng.Intn(200) - 100))
+		}
+		if rng.Intn(2) == 0 {
+			h := r.Histogram(fmt.Sprintf("hist.%d", rng.Intn(3)))
+			for j, n := 0, rng.Intn(6); j < n; j++ {
+				h.Observe(uint64(rng.Intn(100000)))
+			}
+		}
+		if rng.Intn(4) == 0 {
+			r.VolatileHistogram("hist.volatile").Observe(uint64(rng.Intn(100)))
+		}
+	}
+	return r.Snapshot()
+}
+
+func TestSnapshotMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomSnapshot(rng), randomSnapshot(rng)
+		ab, ba := a.Merge(b), b.Merge(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("trial %d: a.Merge(b) != b.Merge(a)\nab: %+v\nba: %+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestSnapshotMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomSnapshot(rng), randomSnapshot(rng), randomSnapshot(rng)
+		left, right := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+		if !left.Equal(right) {
+			t.Fatalf("trial %d: (a·b)·c != a·(b·c)\nleft:  %+v\nright: %+v", trial, left, right)
+		}
+	}
+}
+
+func TestSnapshotMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	empty := NewRegistry().Snapshot()
+	for trial := 0; trial < 200; trial++ {
+		s := randomSnapshot(rng)
+		if got := s.Merge(empty); !got.Equal(s) {
+			t.Fatalf("trial %d: s.Merge(empty) != s\ngot: %+v\ns:   %+v", trial, got, s)
+		}
+		if got := empty.Merge(s); !got.Equal(s) {
+			t.Fatalf("trial %d: empty.Merge(s) != s\ngot: %+v\ns:   %+v", trial, got, s)
+		}
+	}
+}
+
+// Merge must agree with what a single registry that saw all the traffic
+// would report: counters and histograms recorded shard-by-shard sum to
+// the union recording.
+func TestSnapshotMergeMatchesUnifiedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 50; trial++ {
+		shardA, shardB, unified := NewRegistry(), NewRegistry(), NewRegistry()
+		for i, n := 0, 20+rng.Intn(30); i < n; i++ {
+			name := fmt.Sprintf("counter.%d", rng.Intn(4))
+			v := uint64(rng.Intn(100))
+			shard := shardA
+			if rng.Intn(2) == 1 {
+				shard = shardB
+			}
+			shard.Counter(name).Add(v)
+			unified.Counter(name).Add(v)
+
+			hname := fmt.Sprintf("hist.%d", rng.Intn(3))
+			obs := uint64(rng.Intn(100000))
+			shard.Histogram(hname).Observe(obs)
+			unified.Histogram(hname).Observe(obs)
+		}
+		if got, want := shardA.Snapshot().Merge(shardB.Snapshot()), unified.Snapshot(); !got.Equal(want) {
+			t.Fatalf("trial %d: merged shard snapshots != unified recording\ngot:  %+v\nwant: %+v",
+				trial, got, want)
+		}
+	}
+}
