@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -68,9 +69,21 @@ func RegisterCampaignFlags(fs *flag.FlagSet, snapWindowHelp string) *CampaignFla
 }
 
 // Validate checks the flag block's invariants, returning a usage error.
+// Every combination a later stage would reject must fail here, before
+// any campaign work starts: -metrics used to be checked only by
+// EmitMetrics after the campaign finished, which discarded a multi-hour
+// run's dump over a flag typo.
 func (f *CampaignFlags) Validate() error {
 	if f.Workers <= 0 || f.Retries <= 0 {
 		return fmt.Errorf("-workers and -retries must be positive")
+	}
+	switch f.Metrics {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("-metrics: unknown mode %q (want text or json)", f.Metrics)
+	}
+	if f.MetricsOut != "" && f.Metrics == "" {
+		return fmt.Errorf("-metrics-out requires -metrics (text or json)")
 	}
 	if f.CheckpointEvery <= 0 {
 		return fmt.Errorf("-checkpoint-every must be positive")
@@ -84,6 +97,18 @@ func (f *CampaignFlags) Validate() error {
 	if f.ShardWorkers < 0 {
 		return fmt.Errorf("-shard-workers must not be negative")
 	}
+	if f.ShardWorkers != 0 && f.Shards == 1 {
+		// A typo like `-shard-workers 8` without `-shards` must not
+		// silently run unsharded while looking like a sharded run.
+		return fmt.Errorf("-shard-workers needs -shards > 1")
+	}
+	if f.ShardWorkers > f.Shards {
+		// More slots than shards is harmless but almost certainly a
+		// transposed pair of flags; clamp and say so.
+		fmt.Fprintf(os.Stderr, "note: -shard-workers %d exceeds -shards %d; clamping to %d\n",
+			f.ShardWorkers, f.Shards, f.Shards)
+		f.ShardWorkers = f.Shards
+	}
 	return nil
 }
 
@@ -95,24 +120,34 @@ func (f *CampaignFlags) Policy() dnsresolver.Policy {
 	return p
 }
 
+// RenderMetrics renders a registry dump in the given mode ("text" or
+// "json"). The lookup service's /metrics endpoint and EmitMetrics share
+// this path so the two outputs cannot drift.
+func RenderMetrics(r *obs.Registry, mode string) (string, error) {
+	switch mode {
+	case "text":
+		return report.Observability(r.Dump()), nil
+	case "json":
+		raw, err := json.MarshalIndent(r.Dump(), "", "  ")
+		if err != nil {
+			return "", fmt.Errorf("metrics: %w", err)
+		}
+		return string(raw) + "\n", nil
+	default:
+		return "", fmt.Errorf("metrics: unknown mode %q (want text or json)", mode)
+	}
+}
+
 // EmitMetrics writes a registry dump in the given mode ("text" or
 // "json") to path, or to stdout when path is empty. An empty mode is a
 // no-op, so callers can pass the -metrics flag value straight through.
 func EmitMetrics(r *obs.Registry, mode, path string) error {
-	var body string
-	switch mode {
-	case "":
+	if mode == "" {
 		return nil
-	case "text":
-		body = report.Observability(r.Dump())
-	case "json":
-		raw, err := json.MarshalIndent(r.Dump(), "", "  ")
-		if err != nil {
-			return fmt.Errorf("metrics: %w", err)
-		}
-		body = string(raw) + "\n"
-	default:
-		return fmt.Errorf("metrics: unknown mode %q (want text or json)", mode)
+	}
+	body, err := RenderMetrics(r, mode)
+	if err != nil {
+		return err
 	}
 	if path == "" {
 		_, err := os.Stdout.WriteString(body)
@@ -124,6 +159,13 @@ func EmitMetrics(r *obs.Registry, mode, path string) error {
 	return nil
 }
 
+// createProfileFile creates a profile output file. A variable so the
+// tests can substitute a writer whose Close fails — the full-disk case
+// where the kernel reports the truncation only at close time.
+var createProfileFile = func(path string) (io.WriteCloser, error) {
+	return os.Create(path)
+}
+
 // StartProfiles begins a CPU profile at <prefix>.cpu.pprof and returns a
 // stop function that ends it and writes a heap profile to
 // <prefix>.heap.pprof. An empty prefix disables profiling (the stop
@@ -132,7 +174,7 @@ func StartProfiles(prefix string) (stop func() error, err error) {
 	if prefix == "" {
 		return func() error { return nil }, nil
 	}
-	cpu, err := os.Create(prefix + ".cpu.pprof")
+	cpu, err := createProfileFile(prefix + ".cpu.pprof")
 	if err != nil {
 		return nil, fmt.Errorf("pprof: %w", err)
 	}
@@ -145,13 +187,20 @@ func StartProfiles(prefix string) (stop func() error, err error) {
 		if err := cpu.Close(); err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
-		heap, err := os.Create(prefix + ".heap.pprof")
+		heap, err := createProfileFile(prefix + ".heap.pprof")
 		if err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
-		defer heap.Close()
 		runtime.GC() // fresh allocation picture before the heap snapshot
 		if err := pprof.WriteHeapProfile(heap); err != nil {
+			heap.Close()
+			return fmt.Errorf("pprof: %w", err)
+		}
+		// Close errors matter here: on a full disk the write above can
+		// "succeed" into the page cache and the truncation only surfaces
+		// at close — reporting that as success hands the user a corrupt
+		// profile.
+		if err := heap.Close(); err != nil {
 			return fmt.Errorf("pprof: %w", err)
 		}
 		return nil

@@ -1,9 +1,13 @@
 package cmdutil
 
 import (
+	"errors"
 	"flag"
+	"io"
 	"strings"
 	"testing"
+
+	"rrdps/internal/obs"
 )
 
 // parse registers the shared flag block on a throwaway FlagSet, parses
@@ -33,6 +37,9 @@ func TestCampaignFlagsValidate(t *testing.T) {
 		{name: "resume-with-dir", args: []string{"-resume", "-checkpoint-dir", "ckpt"}},
 		{name: "sharded-resume", args: []string{"-shards", "4", "-resume", "-checkpoint-dir", "ckpt"}},
 
+		{name: "metrics-text", args: []string{"-metrics", "text"}},
+		{name: "metrics-json-to-file", args: []string{"-metrics", "json", "-metrics-out", "dump.json"}},
+
 		{name: "resume-without-dir", args: []string{"-resume"}, wantErr: "-resume requires -checkpoint-dir"},
 		{name: "zero-shards", args: []string{"-shards", "0"}, wantErr: "-shards must be at least 1"},
 		{name: "negative-shards", args: []string{"-shards", "-2"}, wantErr: "-shards must be at least 1"},
@@ -40,6 +47,9 @@ func TestCampaignFlagsValidate(t *testing.T) {
 		{name: "zero-workers", args: []string{"-workers", "0"}, wantErr: "-workers and -retries must be positive"},
 		{name: "zero-retries", args: []string{"-retries", "0"}, wantErr: "-workers and -retries must be positive"},
 		{name: "zero-checkpoint-every", args: []string{"-checkpoint-every", "0"}, wantErr: "-checkpoint-every must be positive"},
+		{name: "bad-metrics-mode", args: []string{"-metrics", "yaml"}, wantErr: `-metrics: unknown mode "yaml"`},
+		{name: "metrics-out-without-metrics", args: []string{"-metrics-out", "dump.json"}, wantErr: "-metrics-out requires -metrics"},
+		{name: "shard-workers-unsharded", args: []string{"-shard-workers", "8"}, wantErr: "-shard-workers needs -shards > 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -87,5 +97,69 @@ func TestCampaignFlagsPolicy(t *testing.T) {
 	p := f.Policy()
 	if p.MaxAttempts != 5 || p.Hedge {
 		t.Fatalf("Policy() = attempts %d hedge %v, want 5 false", p.MaxAttempts, p.Hedge)
+	}
+}
+
+// TestShardWorkersClampedToShards: more worker slots than shards is a
+// likely flag transposition, not an error — Validate clamps it so the
+// run behaves as if -shard-workers equaled -shards.
+func TestShardWorkersClampedToShards(t *testing.T) {
+	f, err := parse(t, "-shards", "4", "-shard-workers", "16")
+	if err != nil {
+		t.Fatalf("Validate() = %v, want clamp, not error", err)
+	}
+	if f.ShardWorkers != 4 {
+		t.Fatalf("ShardWorkers = %d after Validate, want clamped to 4", f.ShardWorkers)
+	}
+}
+
+// TestInvalidMetricsModeFailsAtValidate is the regression test for the
+// late-failure bug: an invalid -metrics mode must fail at
+// flag-validation time. The second half documents the old failure
+// point — EmitMetrics, which runs only AFTER the campaign — still
+// rejects the mode, so before the Validate check the first error a user
+// saw cost them the whole run.
+func TestInvalidMetricsModeFailsAtValidate(t *testing.T) {
+	_, err := parse(t, "-metrics", "yaml")
+	if err == nil {
+		t.Fatal("Validate accepted -metrics yaml; the error would surface only after the campaign")
+	}
+	if err := EmitMetrics(obs.NewRegistry(), "yaml", ""); err == nil {
+		t.Fatal("EmitMetrics accepted mode yaml")
+	}
+}
+
+// failingWriter accepts writes but fails Close — the profile-file shape
+// of a full disk, where the data sits in the page cache and the error
+// only surfaces when the file is flushed at close.
+type failingWriter struct{ closeErr error }
+
+func (w *failingWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *failingWriter) Close() error                { return w.closeErr }
+
+// TestStopProfilesPropagatesHeapCloseError: StartProfiles' stop function
+// used to discard the heap profile's Close error via defer, reporting a
+// truncated profile as success.
+func TestStopProfilesPropagatesHeapCloseError(t *testing.T) {
+	closeErr := errors.New("disk full at close")
+	orig := createProfileFile
+	defer func() { createProfileFile = orig }()
+	createProfileFile = func(path string) (io.WriteCloser, error) {
+		if strings.Contains(path, ".heap.") {
+			return &failingWriter{closeErr: closeErr}, nil
+		}
+		return &failingWriter{}, nil
+	}
+
+	stop, err := StartProfiles("prefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = stop()
+	if err == nil {
+		t.Fatal("stop() = nil, want the heap profile's close error")
+	}
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("stop() = %v, want it to wrap %v", err, closeErr)
 	}
 }

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/exposure"
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+)
+
+// Campaign kinds, as recorded in every checkpoint's cursor blob.
+const (
+	CampaignKindDynamics = cursorKindDynamics
+	CampaignKindResidual = cursorKindResidual
+)
+
+// DynamicsState is the externally consumable slice of a Dynamics
+// campaign cursor: the classification and behaviour products a lookup
+// service answers from, without the process internals (resolver health,
+// accounting, RNG position) a resuming campaign also needs.
+type DynamicsState struct {
+	// WorldDay is the world clock as of the cursor; NextDay the next
+	// collection-loop index (== collected days so far).
+	WorldDay int
+	NextDay  int
+	// Adoptions is every apex's latest Table III verdict.
+	Adoptions map[dnsmsg.Name]status.Adoption
+	// HaveTracker guards Tracker: the behaviour FSM exists only after the
+	// first collected day.
+	HaveTracker bool
+	// Tracker carries per-apex detections, closed pause windows, and
+	// still-open pauses — the per-domain DPS history.
+	Tracker behavior.TrackerState
+	// Breakdowns are the per-day Fig. 2 adoption aggregates.
+	Breakdowns []AdoptionBreakdown
+}
+
+// ResidualState is the Residual campaign counterpart: the §V hidden-
+// record products by week.
+type ResidualState struct {
+	// WorldDay is the world clock as of the cursor; NextWeek the next
+	// scan week (Weeks+1 once the campaign finished).
+	WorldDay int
+	NextWeek int
+	// NameserverCount is the discovered NS-rerouting nameserver count
+	// (the paper's 391 equivalent).
+	NameserverCount int
+	// Cloudflare / Incapsula hold the per-week Fig. 8 filtering reports,
+	// hidden records included.
+	Cloudflare []WeeklyReport
+	Incapsula  []WeeklyReport
+	// CFExposure / IncExposure are the week-over-week exposure tracker
+	// states (Fig. 9 timelines).
+	CFExposure  []exposure.WeekState
+	IncExposure []exposure.WeekState
+}
+
+// CampaignState is the decoded form of a checkpoint's campaign cursor
+// blob. Exactly one of Dynamics/Residual is non-nil, matching Kind.
+type CampaignState struct {
+	Kind     string
+	Dynamics *DynamicsState
+	Residual *ResidualState
+}
+
+// WorldDay returns the cursor's world clock regardless of kind.
+func (c CampaignState) WorldDay() int {
+	switch {
+	case c.Dynamics != nil:
+		return c.Dynamics.WorldDay
+	case c.Residual != nil:
+		return c.Residual.WorldDay
+	}
+	return 0
+}
+
+// DecodeCampaignState decodes the campaign blob a snapdisk checkpoint
+// (or an OnSeal hook) carries. It accepts both cursor kinds; anything
+// else — including a blob from a newer format — is an error, never a
+// silently empty state.
+func DecodeCampaignState(blob []byte) (CampaignState, error) {
+	var kind struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(blob, &kind); err != nil {
+		return CampaignState{}, fmt.Errorf("experiment: decode campaign state: %w", err)
+	}
+	switch kind.Kind {
+	case cursorKindDynamics:
+		cur, err := decodeDynamicsCursor(blob)
+		if err != nil {
+			return CampaignState{}, err
+		}
+		return CampaignState{
+			Kind: cur.Kind,
+			Dynamics: &DynamicsState{
+				WorldDay:    cur.WorldDay,
+				NextDay:     cur.NextDay,
+				Adoptions:   cur.Adoptions,
+				HaveTracker: cur.HaveTracker,
+				Tracker:     cur.Tracker,
+				Breakdowns:  cur.Breakdowns,
+			},
+		}, nil
+	case cursorKindResidual:
+		cur, err := decodeResidualCursor(blob)
+		if err != nil {
+			return CampaignState{}, err
+		}
+		return CampaignState{
+			Kind: cur.Kind,
+			Residual: &ResidualState{
+				WorldDay:        cur.WorldDay,
+				NextWeek:        cur.NextWeek,
+				NameserverCount: cur.NameserverCount,
+				Cloudflare:      cur.Cloudflare,
+				Incapsula:       cur.Incapsula,
+				CFExposure:      cur.CFExposure,
+				IncExposure:     cur.IncExposure,
+			},
+		}, nil
+	default:
+		return CampaignState{}, fmt.Errorf("experiment: unknown campaign cursor kind %q", kind.Kind)
+	}
+}

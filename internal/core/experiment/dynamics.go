@@ -239,6 +239,15 @@ type Dynamics struct {
 	// driver's crash/resume suite (internal/shardrun) can kill one
 	// shard's campaign while its siblings run to completion.
 	StopAfterDays int
+
+	// OnSeal, when non-nil, runs after every sealed collection round with
+	// an immutable view of the store's sealed days and the round's
+	// campaign-cursor blob — the same blob a checkpoint would carry, so a
+	// live consumer (the lookup service) sees exactly what a
+	// checkpoint-loaded one would. The hook runs on the campaign
+	// goroutine between Seal and the next BeginDay; the view and blob
+	// stay valid after it returns. Requires the streaming pipeline.
+	OnSeal func(*snapstore.View, []byte)
 }
 
 // _multiCDNSubstrings identify multi-CDN front-end aliases in CNAME
@@ -291,6 +300,9 @@ func (d Dynamics) Run() DynamicsResult {
 	}
 	if d.CheckpointDir != "" && d.Legacy {
 		panic("experiment: checkpointing requires the streaming pipeline (Legacy must be false)")
+	}
+	if d.OnSeal != nil && d.Legacy {
+		panic("experiment: OnSeal requires the streaming pipeline (Legacy must be false)")
 	}
 	e := d.setup()
 	if d.Legacy {
@@ -567,10 +579,15 @@ func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
 		}
 
 		randDraws += d.advance(e.w)
-		if p != nil {
+		if p != nil || d.OnSeal != nil {
 			footer := encodeCursor(d.exportCursor(day+1, randDraws, e, tracker, adoptions, &res, baseStats))
-			if err := p.sealRound(e.w.Day(), store, footer, day+1 == d.Days); err != nil {
-				panic(fmt.Sprintf("experiment: %v", err))
+			if p != nil {
+				if err := p.sealRound(e.w.Day(), store, footer, day+1 == d.Days); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+			}
+			if d.OnSeal != nil {
+				d.OnSeal(store.SealedView(), footer)
 			}
 		}
 		daySpan.End()

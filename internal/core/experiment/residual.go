@@ -139,6 +139,15 @@ type Residual struct {
 	// (internal/shardrun) can kill one shard's campaign while its
 	// siblings run to completion.
 	StopAfterRounds int
+
+	// OnSeal, when non-nil, runs after every sealed collection round with
+	// an immutable view of the store's sealed rounds and the round's
+	// campaign-cursor blob — the same blob a checkpoint would carry, so a
+	// live consumer (the lookup service) sees exactly what a
+	// checkpoint-loaded one would. The hook runs on the campaign
+	// goroutine between Seal and the next BeginDay; the view and blob
+	// stay valid after it returns. Requires the streaming pipeline.
+	OnSeal func(*snapstore.View, []byte)
 }
 
 // Run executes the campaign. The world's clock advances Weeks*7 days.
@@ -155,6 +164,9 @@ func (r Residual) Run() ResidualResult {
 	}
 	if r.CheckpointDir != "" && r.Legacy {
 		panic("experiment: checkpointing requires the streaming pipeline (Legacy must be false)")
+	}
+	if r.OnSeal != nil && r.Legacy {
+		panic("experiment: OnSeal requires the streaming pipeline (Legacy must be false)")
 	}
 	if r.CheckpointDir != "" && r.ProviderAudit {
 		panic("experiment: checkpointing is incompatible with ProviderAudit (audits mutate provider state a rebuilt world cannot replay)")
@@ -447,10 +459,15 @@ func (r Residual) runStreaming(e *residualEnv) ResidualResult {
 	// resume tests.
 	sealRound := func(warmupLeft, nextWeek int, force bool) (stop bool) {
 		rounds++
-		if p != nil {
+		if p != nil || r.OnSeal != nil {
 			footer := encodeCursor(r.exportCursor(warmupLeft, nextWeek, e, &res, baseStats))
-			if err := p.sealRound(w.Day(), store, footer, force); err != nil {
-				panic(fmt.Sprintf("experiment: %v", err))
+			if p != nil {
+				if err := p.sealRound(w.Day(), store, footer, force); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+			}
+			if r.OnSeal != nil {
+				r.OnSeal(store.SealedView(), footer)
 			}
 		}
 		return r.StopAfterRounds > 0 && rounds >= r.StopAfterRounds && !force

@@ -81,6 +81,45 @@ func TestHistogramObserve(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 observations in bucket 1 (value 1), 9 in bucket 4 (values 8..15),
+	// 1 in bucket 7 (values 64..127).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10)
+	}
+	h.Observe(100)
+	s := r.Snapshot().Histograms["lat"]
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1 (bucket 1's upper edge)", got)
+	}
+	if got := s.Quantile(0.9); got != 1 {
+		t.Errorf("p90 = %d, want 1 (rank 90 of 100 still lands in bucket 1)", got)
+	}
+	if got := s.Quantile(0.99); got != 15 {
+		t.Errorf("p99 = %d, want 15 (bucket 4's upper edge)", got)
+	}
+	if got := s.Quantile(1); got != 127 {
+		t.Errorf("p100 = %d, want 127 (bucket 7's upper edge)", got)
+	}
+	// The estimate never underestimates: every observed value is <= its
+	// quantile's answer at q=1.
+	if s.Quantile(1) < 100 {
+		t.Error("max quantile below the largest observation")
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Error("q outside [0,1] did not clamp")
+	}
+}
+
 func TestSnapshotDiffMerge(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("events")

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -26,6 +27,40 @@ type HistogramSnapshot struct {
 	Count   uint64         `json:"count"`
 	Sum     uint64         `json:"sum"`
 	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (clamped to [0, 1]) from the
+// bucket counts. It returns the upper edge of the bucket the quantile
+// rank lands in — a figure that never underestimates the true value,
+// exact up to the power-of-two bucket width. A histogram with no
+// observations answers 0.
+func (h HistogramSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	idxs := make([]int, 0, len(h.Buckets))
+	for i := range h.Buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var cum uint64
+	for _, i := range idxs {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return BucketLow(i+1) - 1
+		}
+	}
+	// Count exceeded the bucket total (inconsistent snapshot); answer the
+	// largest edge rather than panic.
+	return BucketLow(idxs[len(idxs)-1]+1) - 1
 }
 
 func emptySnapshot() Snapshot {

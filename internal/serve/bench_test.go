@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/world"
+)
+
+// BenchmarkServeUnderWrites is the load driver behind the EXPERIMENTS.md
+// latency entry: parallel clients hammer the domain endpoint while a
+// dynamics campaign keeps sealing rounds into the same LiveSource, so
+// every epoch swap happens mid-query-storm. It reports wall-clock p50
+// and p99 per request alongside the usual ns/op.
+func BenchmarkServeUnderWrites(b *testing.B) {
+	cfg := world.PaperConfig(500)
+	cfg.Seed = 9401
+	cfg.PauseRate = 0.04
+	live := &LiveSource{}
+	srv := New(Config{Source: live})
+
+	// Seed the source so readers never spin on a missing epoch, then keep
+	// a writer sealing rounds for the whole measurement window.
+	experiment.Dynamics{World: world.New(cfg), Days: 2, OnSeal: live.OnSeal}.Run()
+	done := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		seed := cfg.Seed
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			seed++
+			wcfg := cfg
+			wcfg.Seed = seed
+			experiment.Dynamics{World: world.New(wcfg), Days: 10, OnSeal: live.OnSeal}.Run()
+		}
+	}()
+
+	e, _ := live.Epoch()
+	apexes := e.View.Apexes()
+	var mu sync.Mutex
+	var latencies []time.Duration
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		local := make([]time.Duration, 0, 1024)
+		for pb.Next() {
+			apex := string(apexes[i%len(apexes)])
+			i++
+			req := httptest.NewRequest("GET", "/v1/domain/"+apex, nil)
+			w := httptest.NewRecorder()
+			start := time.Now()
+			srv.Handler().ServeHTTP(w, req)
+			local = append(local, time.Since(start))
+			if w.Code != http.StatusOK && w.Code != http.StatusNotFound {
+				b.Errorf("%s: status %d", apex, w.Code)
+				return
+			}
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	close(done)
+	writer.Wait()
+
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p := func(q float64) float64 {
+			idx := int(q * float64(len(latencies)-1))
+			return float64(latencies[idx].Nanoseconds())
+		}
+		b.ReportMetric(p(0.50), "p50-ns")
+		b.ReportMetric(p(0.99), "p99-ns")
+	}
+}

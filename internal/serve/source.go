@@ -1,0 +1,117 @@
+// Package serve is the residual-resolution lookup service: an HTTP API
+// answering "is this domain's origin exposed behind its DPS, and through
+// which residual records?" straight off a snapstore — the paper's end
+// product turned from batch campaign reports into a long-lived query
+// surface.
+//
+// The package is layered the way a production proxy is layered: a
+// storage Source abstraction over the store's sealed-day views (a
+// checkpoint directory or a live campaign), HTTP handlers that only ever
+// read immutable Epochs, and middleware for API-key auth, per-key
+// token-bucket rate limiting, and request metrics. A live campaign
+// publishes each sealed round through its OnSeal hook; readers swap to
+// the new epoch atomically and never lock the writer.
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/snapdisk"
+	"rrdps/internal/snapstore"
+)
+
+// Epoch is one sealed round's queryable state: an immutable store view
+// plus the campaign cursor decoded from the same round, so every answer
+// a handler builds is internally consistent. Epochs are never mutated
+// after construction.
+type Epoch struct {
+	View  *snapstore.View
+	State experiment.CampaignState
+}
+
+// Source supplies the current epoch. Implementations must return
+// immutable epochs and may swap them at any time; ok is false only
+// before the first epoch exists (a live campaign that has not sealed a
+// round yet).
+type Source interface {
+	Epoch() (*Epoch, bool)
+}
+
+// CheckpointSource serves a single epoch loaded from a snapdisk
+// checkpoint directory, read-only: nothing in the directory is created,
+// truncated, or replayed. The campaign that wrote the directory seals
+// its final state into the last checkpoint, so the WAL is not consulted —
+// a mid-campaign directory serves the newest full checkpoint's round.
+type CheckpointSource struct {
+	epoch *Epoch
+	label int
+}
+
+// OpenCheckpoint loads the newest valid checkpoint in dir. A directory
+// without a decodable checkpoint is an error: a lookup service pointed
+// at the wrong path must fail loudly, not serve an empty world.
+func OpenCheckpoint(dir string) (*CheckpointSource, error) {
+	d, err := snapdisk.OpenDirReadOnly(dir)
+	if err != nil {
+		return nil, err
+	}
+	st, blob, label, ok, err := d.LatestCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("serve: no checkpoint found in %s", dir)
+	}
+	if blob == nil {
+		return nil, fmt.Errorf("serve: checkpoint %d in %s carries no campaign state", label, dir)
+	}
+	store, err := snapstore.FromState(st)
+	if err != nil {
+		return nil, err
+	}
+	state, err := experiment.DecodeCampaignState(blob)
+	if err != nil {
+		return nil, err
+	}
+	// The loaded store is quiescent, so its sealed view is simply its
+	// whole retained state.
+	return &CheckpointSource{
+		epoch: &Epoch{View: store.SealedView(), State: state},
+		label: label,
+	}, nil
+}
+
+// Epoch implements Source.
+func (s *CheckpointSource) Epoch() (*Epoch, bool) { return s.epoch, true }
+
+// Label returns the label (world day) of the loaded checkpoint.
+func (s *CheckpointSource) Label() int { return s.label }
+
+// LiveSource attaches the service to a running campaign: wire OnSeal as
+// the campaign's OnSeal hook and every sealed round becomes the current
+// epoch via one atomic pointer swap. Readers holding the previous epoch
+// keep a fully consistent (just stale) world; the writer never blocks.
+type LiveSource struct {
+	cur atomic.Pointer[Epoch]
+}
+
+// OnSeal publishes one sealed round. It has the exact signature of the
+// campaign hooks (experiment.Dynamics.OnSeal / Residual.OnSeal), so a
+// caller writes `OnSeal: src.OnSeal`. A blob that does not decode
+// panics: the campaign just produced it, so damage here is a programming
+// error, not an operational condition.
+func (s *LiveSource) OnSeal(v *snapstore.View, blob []byte) {
+	state, err := experiment.DecodeCampaignState(blob)
+	if err != nil {
+		panic(fmt.Sprintf("serve: live campaign published an undecodable cursor: %v", err))
+	}
+	s.cur.Store(&Epoch{View: v, State: state})
+}
+
+// Epoch implements Source; ok is false until the first round seals.
+func (s *LiveSource) Epoch() (*Epoch, bool) {
+	e := s.cur.Load()
+	return e, e != nil
+}

@@ -311,6 +311,25 @@ func OpenDir(path string) (*Dir, error) {
 	return &Dir{path: path}, nil
 }
 
+// OpenDirReadOnly opens an existing checkpoint directory for reading —
+// the lookup-service path. Unlike OpenDir it never creates the
+// directory, and a consumer holding a read-only Dir must only call
+// LatestCheckpoint: the WAL append path (and the campaign code that
+// truncates the WAL on open) belongs to the campaign that owns the
+// directory. A missing directory is an error, not an empty campaign,
+// because a reader pointed at the wrong path should say so rather than
+// serve nothing.
+func OpenDirReadOnly(path string) (*Dir, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapdisk: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("snapdisk: %s is not a directory", path)
+	}
+	return &Dir{path: path}, nil
+}
+
 // Path returns the directory path.
 func (d *Dir) Path() string { return d.path }
 

@@ -539,6 +539,60 @@ func FuzzWALReplay(f *testing.F) {
 	})
 }
 
+// TestOpenDirReadOnly pins the read-only contract: an existing directory
+// opens and serves its newest checkpoint untouched, a missing directory
+// is an error (OpenDir would silently create an empty one), and opening
+// read-only must not create, clear, or truncate anything — in particular
+// not the WAL, which belongs to the campaign that owns the directory.
+func TestOpenDirReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenDirReadOnly(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("OpenDirReadOnly(missing) = nil error, want error")
+	}
+	file := filepath.Join(dir, "afile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDirReadOnly(file); err == nil {
+		t.Fatal("OpenDirReadOnly(regular file) = nil error, want error")
+	}
+
+	// Write a checkpoint + a fake WAL through the owning path, then
+	// reopen read-only and check nothing changed on disk.
+	owner, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testStore(t).ExportState()
+	if err := owner.WriteCheckpoint(6, st, []byte("cursor")); err != nil {
+		t.Fatal(err)
+	}
+	walBytes := []byte("campaign-owned wal contents")
+	if err := os.WriteFile(owner.WALPath(), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenDirReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, campaign, label, ok, err := ro.LatestCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if label != 6 || string(campaign) != "cursor" {
+		t.Fatalf("label=%d campaign=%q, want 6 %q", label, campaign, "cursor")
+	}
+	diffStates(t, got, st)
+	after, err := os.ReadFile(ro.WALPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, walBytes) {
+		t.Fatalf("read-only open changed the WAL: %q -> %q", walBytes, after)
+	}
+}
+
 // benchStore builds a store shaped like a real campaign: nSites apexes
 // over nDays days with ~2% daily churn.
 func benchStore(b *testing.B, nSites, nDays int) *snapstore.Store {

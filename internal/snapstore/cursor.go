@@ -20,7 +20,7 @@ import (
 // the store's interned backing data, shared across materializations, so
 // callers must treat them as read-only.
 type Cursor struct {
-	s    *Store
+	v    *View
 	day  int32
 	pos  int
 	idx  int32
@@ -32,16 +32,24 @@ type Cursor struct {
 // Cursor returns a cursor over day's records in rank order. It panics if
 // day is not replayable (never sealed, or evicted by the window).
 func (s *Store) Cursor(day int) *Cursor {
-	return &Cursor{s: s, day: s.checkDay(day)}
+	v := s.view()
+	return v.Cursor(day)
+}
+
+// Cursor returns a cursor over day's records in rank order; see
+// Store.Cursor. A cursor from a SealedView stays valid while the owning
+// store keeps appending.
+func (v *View) Cursor(day int) *Cursor {
+	return &Cursor{v: v, day: v.checkDay(day)}
 }
 
 // Next advances to the next live record; it returns false when the day is
 // exhausted.
 func (c *Cursor) Next() bool {
-	for c.pos < len(c.s.rankOrder) {
-		idx := c.s.rankOrder[c.pos]
+	for c.pos < len(c.v.rankOrder) {
+		idx := c.v.rankOrder[c.pos]
 		c.pos++
-		if r, live := liveAt(c.s.chains[idx], c.day); live {
+		if r, live := liveAt(c.v.chains[idx], c.day); live {
 			c.idx, c.rec, c.ok = idx, r, false
 			return true
 		}
@@ -50,12 +58,12 @@ func (c *Cursor) Next() bool {
 }
 
 // Apex returns the current record's apex.
-func (c *Cursor) Apex() dnsmsg.Name { return c.s.metas[c.idx].name }
+func (c *Cursor) Apex() dnsmsg.Name { return c.v.metas[c.idx].name }
 
 // Record materializes the current record.
 func (c *Cursor) Record() collect.Record {
 	if !c.ok {
-		c.full, c.ok = c.s.materialize(c.idx, c.rec), true
+		c.full, c.ok = c.v.materialize(c.idx, c.rec), true
 	}
 	return c.full
 }
@@ -82,7 +90,7 @@ func (p Pair) Unchanged() bool {
 
 // PairCursor streams DiffPairs; see Store.DiffPairs.
 type PairCursor struct {
-	s        *Store
+	v        *View
 	prevDay  int32
 	day      int32
 	havePrev bool
@@ -96,11 +104,18 @@ type PairCursor struct {
 // On the store's first day every pair has PrevOK=false. It panics if day
 // (or its predecessor, when one exists in the window) is not replayable.
 func (s *Store) DiffPairs(day int) *PairCursor {
-	d := s.checkDay(day)
-	pc := &PairCursor{s: s, day: d}
-	for i, sealed := range s.days {
+	v := s.view()
+	return v.DiffPairs(day)
+}
+
+// DiffPairs returns a (prev, cur) pair cursor over day; see
+// Store.DiffPairs.
+func (v *View) DiffPairs(day int) *PairCursor {
+	d := v.checkDay(day)
+	pc := &PairCursor{v: v, day: d}
+	for i, sealed := range v.days {
 		if sealed == day && i > 0 {
-			pc.prevDay = int32(s.days[i-1])
+			pc.prevDay = int32(v.days[i-1])
 			pc.havePrev = true
 		}
 	}
@@ -109,10 +124,10 @@ func (s *Store) DiffPairs(day int) *PairCursor {
 
 // Next advances to the next pair; it returns false when exhausted.
 func (pc *PairCursor) Next() bool {
-	for pc.pos < len(pc.s.rankOrder) {
-		idx := pc.s.rankOrder[pc.pos]
+	for pc.pos < len(pc.v.rankOrder) {
+		idx := pc.v.rankOrder[pc.pos]
 		pc.pos++
-		chain := pc.s.chains[idx]
+		chain := pc.v.chains[idx]
 		cur, curLive := liveAt(chain, pc.day)
 		var prev crec
 		prevLive := false
@@ -122,12 +137,12 @@ func (pc *PairCursor) Next() bool {
 		if !curLive && !prevLive {
 			continue
 		}
-		pc.pair = Pair{Apex: pc.s.metas[idx].name, PrevOK: prevLive, CurOK: curLive}
+		pc.pair = Pair{Apex: pc.v.metas[idx].name, PrevOK: prevLive, CurOK: curLive}
 		if prevLive {
-			pc.pair.Prev = pc.s.materialize(idx, prev)
+			pc.pair.Prev = pc.v.materialize(idx, prev)
 		}
 		if curLive {
-			pc.pair.Cur = pc.s.materialize(idx, cur)
+			pc.pair.Cur = pc.v.materialize(idx, cur)
 		}
 		return true
 	}

@@ -23,7 +23,6 @@ import (
 	"net/netip"
 	"sort"
 
-	"rrdps/internal/alexa"
 	"rrdps/internal/core/collect"
 	"rrdps/internal/dnsmsg"
 )
@@ -298,81 +297,93 @@ func liveAt(chain []version, day int32) (crec, bool) {
 	return crec{}, false
 }
 
-// checkDay panics when day was never sealed or fell out of the retention
-// window — replaying it would silently produce a wrong (partial) world.
-func (s *Store) checkDay(day int) int32 {
-	for _, d := range s.days {
-		if d == day {
-			return int32(day)
-		}
+// view returns a transient View sharing the store's live index
+// structures with no copying. It is only valid under the store's own
+// read contract — between Seal and the next BeginDay — and is how the
+// store's read methods delegate to the View implementations. For a view
+// that stays valid while the store keeps appending, use SealedView.
+func (s *Store) view() View {
+	return View{
+		metas:      s.metas,
+		byApex:     s.byApex,
+		chains:     s.chains,
+		days:       s.days,
+		evicted:    s.evicted,
+		rankOrder:  s.rankOrder,
+		versions:   s.versions,
+		tombstones: s.tombstones,
+		interned:   s.interner.Len(),
 	}
-	panic(fmt.Sprintf("snapstore: day %d is not replayable (have %v, %d evicted)", day, s.days, s.evicted))
 }
 
-// materialize converts a stored version back to the collect.Record the
-// legacy map-based path would have held. The record's slices are the
-// version's cached backing data, shared across every materialization of
-// the same version: replay is allocation-free, and callers must treat the
-// record as read-only.
-func (s *Store) materialize(idx int32, r crec) collect.Record {
-	m := s.metas[idx]
-	return collect.Record{
-		Domain:    alexa.Domain{Rank: int(m.rank), Apex: m.name},
-		Addrs:     r.addrs,
-		CNAMEs:    r.cnameNames,
-		NSHosts:   r.nsHostNames,
-		ResolveOK: r.resolveOK,
-		NSOK:      r.nsOK,
+// SealedView returns an immutable snapshot of the store's sealed days,
+// safe for concurrent reads while the store keeps appending. Call it
+// between Seal and the next BeginDay (the campaign OnSeal hook runs
+// there).
+//
+// The copy is structural, not deep: the index layers that the writer
+// mutates in place — the outer chains slice (whose elements are
+// reassigned on append and eviction), the byApex map, and the day list —
+// are copied; the version chains and their cached record data are shared.
+// Sharing them is safe because appends only ever write beyond the view's
+// frozen lengths, eviction copies surviving suffixes into fresh arrays
+// (leaving the old ones to the view), and stored versions are never
+// mutated in place. The cost is O(apexes) slice headers per view, not
+// O(versions) record data.
+func (s *Store) SealedView() *View {
+	chains := make([][]version, len(s.chains))
+	copy(chains, s.chains)
+	byApex := make(map[dnsmsg.Name]int32, len(s.byApex))
+	for apex, idx := range s.byApex {
+		byApex[apex] = idx
+	}
+	return &View{
+		metas:      s.metas[:len(s.metas):len(s.metas)],
+		byApex:     byApex,
+		chains:     chains,
+		days:       append([]int(nil), s.days...),
+		evicted:    s.evicted,
+		rankOrder:  s.rankOrder[:len(s.rankOrder):len(s.rankOrder)],
+		versions:   s.versions,
+		tombstones: s.tombstones,
+		interned:   s.interner.Len(),
 	}
 }
 
 // RecordAt returns apex's record at day (ok=false when the apex is not
 // live that day). It panics if day is not replayable.
 func (s *Store) RecordAt(apex dnsmsg.Name, day int) (collect.Record, bool) {
-	d := s.checkDay(day)
-	idx, ok := s.byApex[apex]
-	if !ok {
-		return collect.Record{}, false
-	}
-	r, live := liveAt(s.chains[idx], d)
-	if !live {
-		return collect.Record{}, false
-	}
-	return s.materialize(idx, r), true
+	v := s.view()
+	return v.RecordAt(apex, day)
 }
 
 // Rank returns apex's rank from the store's metadata (the interned rank
 // index), independent of any particular day.
 func (s *Store) Rank(apex dnsmsg.Name) (int, bool) {
-	idx, ok := s.byApex[apex]
-	if !ok {
-		return 0, false
-	}
-	return int(s.metas[idx].rank), true
+	v := s.view()
+	return v.Rank(apex)
 }
 
 // Apexes returns every apex the store has ever seen, in rank order. The
 // slice is shared and must not be mutated.
 func (s *Store) Apexes() []dnsmsg.Name {
-	out := make([]dnsmsg.Name, len(s.rankOrder))
-	for i, idx := range s.rankOrder {
-		out[i] = s.metas[idx].name
-	}
-	return out
+	v := s.view()
+	return v.Apexes()
+}
+
+// History returns apex's retained version chain, oldest first; see
+// View.History.
+func (s *Store) History(apex dnsmsg.Name) []VersionInfo {
+	v := s.view()
+	return v.History(apex)
 }
 
 // SnapshotAt materializes day as a legacy map-based collect.Snapshot —
 // the adapter that keeps pre-store consumers (and their tests) working.
 // New code should prefer Cursor/DiffPairs, which replay without the map.
 func (s *Store) SnapshotAt(day int) collect.Snapshot {
-	d := s.checkDay(day)
-	snap := collect.Snapshot{Day: day, Records: make(map[dnsmsg.Name]collect.Record, len(s.metas))}
-	for idx := range s.chains {
-		if r, live := liveAt(s.chains[idx], d); live {
-			snap.Records[s.metas[idx].name] = s.materialize(int32(idx), r)
-		}
-	}
-	return snap
+	v := s.view()
+	return v.SnapshotAt(day)
 }
 
 // Stats describes the store's retained shape.

@@ -16,6 +16,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/serve"
 	"rrdps/internal/snapdisk"
 	"rrdps/internal/snapstore"
 	"rrdps/internal/vectors"
@@ -159,6 +160,53 @@ var (
 
 // ErrCheckpointCorrupt is the sentinel every snapdisk decode error wraps.
 var ErrCheckpointCorrupt = snapdisk.ErrCorrupt
+
+// ---------------------------------------------------------------------------
+// Lookup service (the cmd/rrserve HTTP API).
+
+// SnapshotView is an immutable read surface over a snapshot store: the
+// store's sealed state frozen at one round, safe to read from any
+// goroutine while the campaign keeps writing.
+type SnapshotView = snapstore.View
+
+// CampaignState is a campaign cursor decoded into its exported products
+// (adoptions, tracker history, weekly reports, exposure timelines).
+type CampaignState = experiment.CampaignState
+
+// DecodeCampaignState decodes a checkpoint's campaign blob.
+var DecodeCampaignState = experiment.DecodeCampaignState
+
+// OpenCheckpointDirReadOnly opens an existing checkpoint directory
+// without creating, truncating, or replaying anything — the attachment
+// mode for read-only consumers like the lookup service.
+var OpenCheckpointDirReadOnly = snapdisk.OpenDirReadOnly
+
+// LookupServer is the residual-resolution lookup service over a
+// snapstore: exposure verdicts, hidden records, and adoption history as
+// an HTTP API with auth, rate limiting, and request metrics.
+type LookupServer = serve.Server
+
+// LookupConfig wires a LookupServer.
+type LookupConfig = serve.Config
+
+// LookupEpoch is one sealed round's queryable state.
+type LookupEpoch = serve.Epoch
+
+// LookupSource supplies epochs to a LookupServer.
+type LookupSource = serve.Source
+
+// CheckpointLookupSource serves a checkpoint directory's newest state.
+type CheckpointLookupSource = serve.CheckpointSource
+
+// LiveLookupSource attaches a LookupServer to a running campaign via the
+// campaign's OnSeal hook.
+type LiveLookupSource = serve.LiveSource
+
+// NewLookupServer builds a lookup server.
+var NewLookupServer = serve.New
+
+// OpenLookupCheckpoint loads the newest checkpoint in dir as a source.
+var OpenLookupCheckpoint = serve.OpenCheckpoint
 
 // Matcher attributes DNS records to providers (A/CNAME/NS matching).
 type Matcher = match.Matcher
