@@ -33,6 +33,8 @@ func main() {
 	rate := flag.Float64("rate", 50, "per-key request budget in requests/second (0 disables rate limiting)")
 	burst := flag.Int("burst", 100, "per-key burst allowance on top of -rate")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+	follow := flag.Bool("follow", false, "tail -checkpoint-dir for new sealed rounds and swap epochs as they land (serve a live campaign)")
+	poll := flag.Duration("poll", time.Second, "with -follow: how often to poll the checkpoint directory")
 	flag.Parse()
 
 	if *dir == "" {
@@ -43,6 +45,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rrserve: -rate and -burst must not be negative, -drain must be positive")
 		os.Exit(2)
 	}
+	if *poll <= 0 {
+		fmt.Fprintln(os.Stderr, "rrserve: -poll must be positive")
+		os.Exit(2)
+	}
 	var apiKeys []string
 	for _, k := range strings.Split(*keys, ",") {
 		if k = strings.TrimSpace(k); k != "" {
@@ -50,15 +56,35 @@ func main() {
 		}
 	}
 
-	src, err := serve.OpenCheckpoint(*dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
-		os.Exit(1)
+	var src serve.Source
+	if *follow {
+		fs, err := serve.OpenFollow(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+			os.Exit(1)
+		}
+		fs.Start(*poll)
+		defer fs.Close()
+		if epoch, ok := fs.Epoch(); ok {
+			day, _ := epoch.View.LatestDay()
+			fmt.Printf("rrserve: following %s (%s campaign, day %d, %d apexes; poll %v)\n",
+				*dir, epoch.State.Kind, day, epoch.View.Stats().Apexes, *poll)
+		} else {
+			fmt.Printf("rrserve: following %s (no sealed rounds yet; poll %v)\n", *dir, *poll)
+		}
+		src = fs
+	} else {
+		cs, err := serve.OpenCheckpoint(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+			os.Exit(1)
+		}
+		epoch, _ := cs.Epoch()
+		day, _ := epoch.View.LatestDay()
+		fmt.Printf("rrserve: loaded checkpoint %d from %s (%s campaign, day %d, %d apexes)\n",
+			cs.Label(), *dir, epoch.State.Kind, day, epoch.View.Stats().Apexes)
+		src = cs
 	}
-	epoch, _ := src.Epoch()
-	day, _ := epoch.View.LatestDay()
-	fmt.Printf("rrserve: loaded checkpoint %d from %s (%s campaign, day %d, %d apexes)\n",
-		src.Label(), *dir, epoch.State.Kind, day, epoch.View.Stats().Apexes)
 	if len(apiKeys) == 0 {
 		fmt.Println("rrserve: warning: no -api-keys, serving unauthenticated")
 	}
@@ -79,7 +105,7 @@ func main() {
 		close(stop)
 	}()
 
-	err = srv.ListenAndServe(*addr, stop, *drain, func(bound string) {
+	err := srv.ListenAndServe(*addr, stop, *drain, func(bound string) {
 		fmt.Printf("rrserve: serving on http://%s\n", bound)
 	})
 	if err != nil {

@@ -40,6 +40,12 @@ func TestCampaignFlagsValidate(t *testing.T) {
 		{name: "metrics-text", args: []string{"-metrics", "text"}},
 		{name: "metrics-json-to-file", args: []string{"-metrics", "json", "-metrics-out", "dump.json"}},
 
+		{name: "legacy", args: []string{"-legacy"}},
+		{name: "follow", args: []string{"-follow", "-checkpoint-dir", "ckpt"}},
+		{name: "follow-bounded", args: []string{"-follow", "-checkpoint-dir", "ckpt", "-max-days", "3"}},
+		{name: "follow-throttled", args: []string{"-follow", "-checkpoint-dir", "ckpt", "-follow-interval", "5s"}},
+		{name: "follow-resume", args: []string{"-follow", "-resume", "-checkpoint-dir", "ckpt"}},
+
 		{name: "resume-without-dir", args: []string{"-resume"}, wantErr: "-resume requires -checkpoint-dir"},
 		{name: "zero-shards", args: []string{"-shards", "0"}, wantErr: "-shards must be at least 1"},
 		{name: "negative-shards", args: []string{"-shards", "-2"}, wantErr: "-shards must be at least 1"},
@@ -50,6 +56,18 @@ func TestCampaignFlagsValidate(t *testing.T) {
 		{name: "bad-metrics-mode", args: []string{"-metrics", "yaml"}, wantErr: `-metrics: unknown mode "yaml"`},
 		{name: "metrics-out-without-metrics", args: []string{"-metrics-out", "dump.json"}, wantErr: "-metrics-out requires -metrics"},
 		{name: "shard-workers-unsharded", args: []string{"-shard-workers", "8"}, wantErr: "-shard-workers needs -shards > 1"},
+
+		// Daemon-mode combinations a later stage would only reject after
+		// hours of campaign work — all must fail at flag validation.
+		{name: "legacy-checkpoint", args: []string{"-legacy", "-checkpoint-dir", "ckpt"}, wantErr: "-legacy is incompatible with -checkpoint-dir"},
+		{name: "legacy-sharded", args: []string{"-legacy", "-shards", "2"}, wantErr: "-legacy is incompatible with -shards > 1"},
+		{name: "legacy-follow", args: []string{"-legacy", "-follow"}, wantErr: "-follow is incompatible with -legacy"},
+		{name: "follow-without-dir", args: []string{"-follow"}, wantErr: "-follow requires -checkpoint-dir"},
+		{name: "follow-sharded", args: []string{"-follow", "-checkpoint-dir", "ckpt", "-shards", "2"}, wantErr: "-follow is incompatible with -shards > 1"},
+		{name: "negative-max-days", args: []string{"-follow", "-checkpoint-dir", "ckpt", "-max-days", "-1"}, wantErr: "-max-days must be at least 1"},
+		{name: "max-days-without-follow", args: []string{"-max-days", "3"}, wantErr: "-max-days needs -follow"},
+		{name: "negative-follow-interval", args: []string{"-follow", "-checkpoint-dir", "ckpt", "-follow-interval", "-1s"}, wantErr: "-follow-interval must not be negative"},
+		{name: "follow-interval-without-follow", args: []string{"-follow-interval", "5s"}, wantErr: "-follow-interval needs -follow"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -298,6 +298,27 @@ func (t *Tracker) CountsByDay() map[int]map[Kind]int {
 	return out
 }
 
+// DayCounts aggregates one day's detections per kind — the single-day
+// increment of CountsByDay, for consumers (the follow-mode daemons) that
+// fold artifacts forward one appended day at a time instead of
+// re-aggregating the whole campaign.
+func (t *Tracker) DayCounts(day int) map[Kind]int {
+	out := make(map[Kind]int)
+	// Detections are appended in day order, so the day's block is a
+	// suffix scan that stops as soon as an earlier day appears.
+	for i := len(t.detections) - 1; i >= 0; i-- {
+		d := t.detections[i]
+		if d.Day != day {
+			if d.Day < day {
+				break
+			}
+			continue
+		}
+		out[d.Kind]++
+	}
+	return out
+}
+
 // Counts aggregates total detections per kind.
 func (t *Tracker) Counts() map[Kind]int {
 	out := make(map[Kind]int)

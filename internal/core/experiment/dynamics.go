@@ -430,7 +430,13 @@ func (d Dynamics) runLegacy(e *dynamicsEnv) DynamicsResult {
 			if det.Kind != behavior.Join && det.Kind != behavior.Resume {
 				continue
 			}
-			d.verifyUnchanged(&res, e.verifier, prevSnap, snap, det)
+			if prevSnap.Records == nil {
+				continue // day 0: no previous snapshot yet
+			}
+			pr := snapstore.Pair{Apex: det.Apex}
+			pr.Prev, pr.PrevOK = prevSnap.Records[det.Apex]
+			pr.Cur, pr.CurOK = snap.Records[det.Apex]
+			d.verifyDetection(&res, e.verifier, pr, det)
 		}
 
 		prevSnap = snap
@@ -454,150 +460,25 @@ func (d Dynamics) window() int {
 	}
 }
 
-// runStreaming is the one-pass snapstore pipeline: collection streams into
-// the delta store, and a single DiffPairs cursor per day feeds the
-// breakdown, the classifier, and the behaviour FSM without materializing
-// either day as a map. Classification of unchanged pairs is served from a
-// per-apex cache — Classify is a pure function of the record, so the cache
-// is value-identical to re-classifying.
+// runStreaming is the one-pass snapstore pipeline, expressed as the
+// incremental engine driven to the configured horizon: NewEngine absorbs
+// the persistence/recovery setup, each loop turn appends exactly one day,
+// and a final forced checkpoint seals the campaign. Batch and daemon
+// callers therefore share every line of per-day logic — the append≡batch
+// equivalence suite leans on that.
 func (d Dynamics) runStreaming(e *dynamicsEnv) DynamicsResult {
-	res := DynamicsResult{Days: d.Days, Unchanged: make(map[dps.ProviderKey]*UnchangedRow)}
-	store := snapstore.New()
-	store.SetWindow(d.window())
-	var tracker *behavior.Tracker // built after the first day (multi-CDN detection)
-	adoptions := make(map[dnsmsg.Name]status.Adoption, len(e.domains))
-	startDay := 0
-	randDraws := 0
-	var baseStats dnsresolver.QueryStats
-
-	var p *campaignPersist
-	if d.CheckpointDir != "" {
-		var err error
-		p, err = openCampaignPersist(d.CheckpointDir, d.CheckpointEvery, d.Resume)
-		if err != nil {
-			panic(fmt.Sprintf("experiment: %v", err))
-		}
-		defer p.close()
-		if d.Resume {
-			rec, err := p.recoverState(d.window())
-			if err != nil {
-				panic(fmt.Sprintf("experiment: recover: %v", err))
-			}
-			if rec.ok {
-				cur, err := decodeDynamicsCursor(rec.blob)
-				if err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-				store = rec.store
-				startDay = cur.NextDay
-				randDraws = cur.RandDraws
-				baseStats = cur.BaseStats
-				if cur.HaveTracker {
-					tracker = behavior.RestoreTracker(cur.Tracker)
-				}
-				adoptions = cur.Adoptions
-				if adoptions == nil {
-					adoptions = make(map[dnsmsg.Name]status.Adoption, len(e.domains))
-				}
-				res.Breakdowns = cur.Breakdowns
-				if cur.Unchanged != nil {
-					res.Unchanged = cur.Unchanged
-				}
-				e.resolver.Health().RestoreState(cur.Health)
-				d.Obs.Restore(cur.Obs)
-				advanceWorldTo(e.w, cur.WorldDay)
-				if err := e.w.Net.RestoreCounters(cur.Net); err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-				for i := 0; i < cur.RandDraws; i++ {
-					d.Rand.Float64()
-				}
-			}
-		}
-		if startDay > 0 {
-			// Re-establish the invariant (state = checkpoint + WAL) with a
-			// fresh checkpoint — written before openWAL truncates the WAL,
-			// so a crash in between cannot discard the sealed days it held.
-			footer := encodeCursor(d.exportCursor(startDay, randDraws, e, tracker, adoptions, &res, baseStats))
-			if err := p.checkpointNow(e.w.Day(), store, footer); err != nil {
-				panic(fmt.Sprintf("experiment: %v", err))
-			}
-		}
-		if err := p.openWAL(); err != nil {
-			panic(fmt.Sprintf("experiment: %v", err))
+	en := d.newEngine(e)
+	defer en.Close()
+	appended := 0
+	for en.nextDay < d.Days {
+		en.AppendDay()
+		appended++
+		if d.StopAfterDays > 0 && appended >= d.StopAfterDays && en.nextDay < d.Days {
+			return en.res // simulated kill; the partial result is not meaningful
 		}
 	}
-
-	for day := startDay; day < d.Days; day++ {
-		daySpan := d.Obs.Tracer().StartSpan("day", fmt.Sprintf("day %d", day))
-		daySpan.SetItems(len(e.domains))
-		dw := store.BeginDay(day)
-		put := dw.Put
-		if p != nil {
-			p.beginDay(day)
-			put = p.tee(dw.Put)
-		}
-		e.collector.CollectStream(day, put)
-		dw.Seal()
-
-		if tracker == nil {
-			excluded := append([]dnsmsg.Name(nil), d.Excluded...)
-			if !d.KeepMultiCDN {
-				excluded = append(excluded, DetectMultiCDNStream(store.Cursor(day))...)
-			}
-			tracker = behavior.NewTracker(excluded)
-		}
-
-		b := AdoptionBreakdown{Day: day, ByProvider: make(map[dps.ProviderKey]int)}
-		tracker.BeginDay(day)
-		for pairs := store.DiffPairs(day); pairs.Next(); {
-			p := pairs.Pair()
-			if !p.CurOK {
-				delete(adoptions, p.Apex)
-				continue
-			}
-			adoption, cached := adoptions[p.Apex]
-			if !cached || !p.Unchanged() {
-				adoption = e.classifier.Classify(p.Cur)
-				adoptions[p.Apex] = adoption
-			}
-			b.accum(p.Cur, adoption, e.topCut)
-			if p.Cur.ResolveOK && p.Cur.NSOK && !adoption.SharedIPSuspect {
-				tracker.ObserveOne(p.Apex, adoption)
-			}
-		}
-		detections := tracker.EndDay()
-		res.Breakdowns = append(res.Breakdowns, b)
-
-		// Table V, served from the store's window instead of a retained
-		// previous snapshot.
-		for _, det := range detections {
-			if det.Kind != behavior.Join && det.Kind != behavior.Resume {
-				continue
-			}
-			d.verifyUnchangedAt(&res, e.verifier, store, day, det)
-		}
-
-		randDraws += d.advance(e.w)
-		if p != nil || d.OnSeal != nil {
-			footer := encodeCursor(d.exportCursor(day+1, randDraws, e, tracker, adoptions, &res, baseStats))
-			if p != nil {
-				if err := p.sealRound(e.w.Day(), store, footer, day+1 == d.Days); err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-			}
-			if d.OnSeal != nil {
-				d.OnSeal(store.SealedView(), footer)
-			}
-		}
-		daySpan.End()
-		if d.StopAfterDays > 0 && day-startDay+1 >= d.StopAfterDays && day+1 < d.Days {
-			return res // simulated kill; the partial result is not meaningful
-		}
-	}
-
-	d.finish(&res, e, tracker, baseStats)
-	return res
+	en.Checkpoint()
+	return en.Result()
 }
 
 // validAdoptions drops records whose resolution failed — in full OR in
@@ -653,11 +534,12 @@ func (b *AdoptionBreakdown) accum(rec collect.Record, adoption status.Adoption, 
 	}
 }
 
-// verifyUnchanged implements the §IV-C.3 three-step IP1/IP2 procedure.
-func (d Dynamics) verifyUnchanged(res *DynamicsResult, verifier *htmlverify.Verifier, prev, cur collect.Snapshot, det behavior.Detection) {
-	if prev.Records == nil {
-		return
-	}
+// verifyDetection implements the §IV-C.3 three-step IP1/IP2 procedure
+// over a diff pair: the record versions on either side of the detected
+// action, read straight off the snapstore diff stream (streaming
+// pipeline) or assembled from the retained snapshot maps (legacy). The
+// provider's Table V row is created before the record lookups can bail.
+func (d Dynamics) verifyDetection(res *DynamicsResult, verifier *htmlverify.Verifier, pr snapstore.Pair, det behavior.Detection) {
 	provider := det.To
 	row := res.Unchanged[provider]
 	if row == nil {
@@ -667,53 +549,16 @@ func (d Dynamics) verifyUnchanged(res *DynamicsResult, verifier *htmlverify.Veri
 
 	// IP1: the origin address observed before the action. For JOIN that is
 	// the pre-join A record; for RESUME, the OFF-period A record (origin).
-	prevRec, ok := prev.Records[det.Apex]
-	if !ok || len(prevRec.Addrs) == 0 {
+	if !pr.PrevOK || len(pr.Prev.Addrs) == 0 {
 		return
 	}
-	ip1 := prevRec.Addrs[0]
+	ip1 := pr.Prev.Addrs[0]
 
 	// IP2: the addresses answered after the action — DPS edges.
-	curRec, ok := cur.Records[det.Apex]
-	if !ok || len(curRec.Addrs) == 0 {
+	if !pr.CurOK || len(pr.Cur.Addrs) == 0 {
 		return
 	}
-	ip2 := curRec.Addrs[0]
-
-	row.JoinResume++
-	if verifySame(verifier, det.Apex, ip2, ip1) {
-		row.IPUnchanged++
-	}
-}
-
-// verifyUnchangedAt is verifyUnchanged against the snapstore: the same
-// three-step procedure — including creating the provider's Table V row
-// before the record lookups can bail — with RecordAt point lookups into
-// the retention window replacing the retained prev/cur maps.
-func (d Dynamics) verifyUnchangedAt(res *DynamicsResult, verifier *htmlverify.Verifier, store *snapstore.Store, day int, det behavior.Detection) {
-	if day == 0 {
-		return // no previous day yet, as with a nil prev snapshot
-	}
-	provider := det.To
-	row := res.Unchanged[provider]
-	if row == nil {
-		row = &UnchangedRow{Provider: provider}
-		res.Unchanged[provider] = row
-	}
-
-	// IP1: the origin address observed before the action.
-	prevRec, ok := store.RecordAt(det.Apex, day-1)
-	if !ok || len(prevRec.Addrs) == 0 {
-		return
-	}
-	ip1 := prevRec.Addrs[0]
-
-	// IP2: the addresses answered after the action — DPS edges.
-	curRec, ok := store.RecordAt(det.Apex, day)
-	if !ok || len(curRec.Addrs) == 0 {
-		return
-	}
-	ip2 := curRec.Addrs[0]
+	ip2 := pr.Cur.Addrs[0]
 
 	row.JoinResume++
 	if verifySame(verifier, det.Apex, ip2, ip1) {

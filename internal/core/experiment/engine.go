@@ -1,0 +1,573 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rrdps/internal/core/behavior"
+	"rrdps/internal/core/exposure"
+	"rrdps/internal/core/rrscan"
+	"rrdps/internal/core/status"
+	"rrdps/internal/dnsmsg"
+	"rrdps/internal/dnsresolver"
+	"rrdps/internal/dps"
+	"rrdps/internal/obs"
+	"rrdps/internal/snapstore"
+)
+
+// The incremental engines.
+//
+// Run() computes a campaign in one batch shot; the engines expose the
+// same campaign as a process: construct one, call AppendDay/AppendRound
+// once per collection round, read Result whenever a consistent answer is
+// needed, Checkpoint before a planned shutdown, Close when done. Run is
+// itself implemented as "NewEngine + loop + Result", so the batch and
+// incremental paths cannot drift — they are the same code, which is what
+// the append≡batch equivalence suite (incremental_test.go) pins, in the
+// spirit of TestStreamingMatchesLegacy.
+//
+// The engines are what the -follow daemon mode in cmd/dpsmeasure and
+// cmd/rrscan is built on: the campaign horizon (Days / Weeks) bounds
+// Run, but an engine keeps appending past it for as long as the caller
+// keeps calling — the simulated Internet keeps running, each sealed
+// round lands in the WAL (and periodically a checkpoint), and a
+// `rrserve -follow` reader picks it up within one poll.
+
+// DynamicsEngine is the §IV usage-dynamics campaign as an incremental
+// process: each AppendDay collects one day into the live snapstore,
+// streams it through the one-pass DiffPairs machinery, and updates every
+// artifact in place — the Fig. 2 breakdown, the behaviour FSM, the pause
+// windows, and the Table V verification rows. Construct with
+// Dynamics.NewEngine.
+type DynamicsEngine struct {
+	cfg   Dynamics
+	e     *dynamicsEnv
+	store *snapstore.Store
+	p     *campaignPersist
+
+	tracker   *behavior.Tracker // built after the first day (multi-CDN detection)
+	adoptions map[dnsmsg.Name]status.Adoption
+	res       DynamicsResult
+	nextDay   int
+	randDraws int
+	baseStats dnsresolver.QueryStats
+	// lastFooter is the most recent sealed round's cursor blob; Checkpoint
+	// reuses it so a forced checkpoint is byte-identical to the WAL footer
+	// of the round it covers.
+	lastFooter []byte
+	closed     bool
+}
+
+// NewEngine builds the campaign's incremental engine: full setup, and —
+// with CheckpointDir + Resume — recovery of the on-disk state, exactly as
+// Run would perform it. Days may be zero: an engine has no horizon of its
+// own (Run's loop bound and the campaign.days gauge are the only
+// consumers), so a daemon caller can keep appending indefinitely.
+func (d Dynamics) NewEngine() *DynamicsEngine {
+	if d.World == nil {
+		panic("experiment: Dynamics engine requires World")
+	}
+	if d.Days < 0 {
+		panic("experiment: Dynamics.Days must not be negative")
+	}
+	if d.Legacy {
+		panic("experiment: the incremental engine requires the streaming pipeline (Legacy must be false)")
+	}
+	return d.newEngine(d.setup())
+}
+
+func (d Dynamics) newEngine(e *dynamicsEnv) *DynamicsEngine {
+	en := &DynamicsEngine{
+		cfg:       d,
+		e:         e,
+		store:     snapstore.New(),
+		adoptions: make(map[dnsmsg.Name]status.Adoption, len(e.domains)),
+		res:       DynamicsResult{Days: d.Days, Unchanged: make(map[dps.ProviderKey]*UnchangedRow)},
+	}
+	en.store.SetWindow(d.window())
+	if d.CheckpointDir == "" {
+		return en
+	}
+	p, err := openCampaignPersist(d.CheckpointDir, d.CheckpointEvery, d.Resume)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	en.p = p
+	if d.Resume {
+		rec, err := p.recoverState(d.window())
+		if err != nil {
+			panic(fmt.Sprintf("experiment: recover: %v", err))
+		}
+		if rec.ok {
+			cur, err := decodeDynamicsCursor(rec.blob)
+			if err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+			en.store = rec.store
+			en.nextDay = cur.NextDay
+			en.randDraws = cur.RandDraws
+			en.baseStats = cur.BaseStats
+			if cur.HaveTracker {
+				en.tracker = behavior.RestoreTracker(cur.Tracker)
+			}
+			if cur.Adoptions != nil {
+				en.adoptions = cur.Adoptions
+			}
+			en.res.Breakdowns = cur.Breakdowns
+			if cur.Unchanged != nil {
+				en.res.Unchanged = cur.Unchanged
+			}
+			e.resolver.Health().RestoreState(cur.Health)
+			d.Obs.Restore(cur.Obs)
+			advanceWorldTo(e.w, cur.WorldDay)
+			if err := e.w.Net.RestoreCounters(cur.Net); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+			for i := 0; i < cur.RandDraws; i++ {
+				d.Rand.Float64()
+			}
+		}
+	}
+	if en.nextDay > 0 {
+		// Re-establish the invariant (state = checkpoint + WAL) with a
+		// fresh checkpoint — written before openWAL truncates the WAL,
+		// so a crash in between cannot discard the sealed days it held.
+		footer := encodeCursor(d.exportCursor(en.nextDay, en.randDraws, e, en.tracker, en.adoptions, &en.res, en.baseStats))
+		if err := p.checkpointNow(e.w.Day(), en.store, footer); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+	}
+	if err := p.openWAL(); err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	return en
+}
+
+// NextDay returns the next collection-loop index — equivalently, how
+// many days the campaign has collected so far (across every resume).
+func (en *DynamicsEngine) NextDay() int { return en.nextDay }
+
+// WorldDay returns the world clock (it can run ahead of NextDay under
+// long-interval jitter).
+func (en *DynamicsEngine) WorldDay() int { return en.e.w.Day() }
+
+// DayCounts returns one appended day's detection counts per kind (see
+// behavior.Tracker.DayCounts); nil before the first day.
+func (en *DynamicsEngine) DayCounts(day int) map[behavior.Kind]int {
+	if en.tracker == nil {
+		return nil
+	}
+	return en.tracker.DayCounts(day)
+}
+
+// LastBreakdown returns the newest appended day's Fig. 2 breakdown, or
+// the zero value before the first day.
+func (en *DynamicsEngine) LastBreakdown() AdoptionBreakdown {
+	if len(en.res.Breakdowns) == 0 {
+		return AdoptionBreakdown{}
+	}
+	return en.res.Breakdowns[len(en.res.Breakdowns)-1]
+}
+
+// AppendDay collects and seals one day and folds it into every artifact
+// in place: the day streams into the snapstore (teed to the WAL when
+// durable), one DiffPairs pass feeds the Fig. 2 breakdown, the
+// classification cache, and the behaviour FSM, and the day's JOIN/RESUME
+// detections are HTML-verified for Table V straight off the diff
+// stream — only records that changed this day are ever re-verified. It
+// returns the day's detections (the increment a daemon logs); the world
+// then advances to the next snapshot.
+func (en *DynamicsEngine) AppendDay() []behavior.Detection {
+	if en.closed {
+		panic("experiment: AppendDay on a closed engine")
+	}
+	d, e := en.cfg, en.e
+	day := en.nextDay
+	daySpan := d.Obs.Tracer().StartSpan("day", fmt.Sprintf("day %d", day))
+	daySpan.SetItems(len(e.domains))
+	dw := en.store.BeginDay(day)
+	put := dw.Put
+	if en.p != nil {
+		en.p.beginDay(day)
+		put = en.p.tee(dw.Put)
+	}
+	e.collector.CollectStream(day, put)
+	dw.Seal()
+
+	if en.tracker == nil {
+		excluded := append([]dnsmsg.Name(nil), d.Excluded...)
+		if !d.KeepMultiCDN {
+			excluded = append(excluded, DetectMultiCDNStream(en.store.Cursor(day))...)
+		}
+		en.tracker = behavior.NewTracker(excluded)
+	}
+
+	b := AdoptionBreakdown{Day: day, ByProvider: make(map[dps.ProviderKey]int)}
+	// changed captures the day's churned pairs straight off the diff
+	// stream. A JOIN/RESUME detection only ever lands on an apex whose
+	// record changed this day — classification is a pure function of the
+	// record, so an unchanged record reproduces yesterday's adoption and
+	// the FSM sees no transition — so the Table V verification reads its
+	// IP1/IP2 inputs from here instead of re-materializing either day.
+	var changed map[dnsmsg.Name]snapstore.Pair
+	if day > 0 {
+		changed = make(map[dnsmsg.Name]snapstore.Pair)
+	}
+	en.tracker.BeginDay(day)
+	for pairs := en.store.DiffPairs(day); pairs.Next(); {
+		p := pairs.Pair()
+		unchanged := p.Unchanged()
+		if changed != nil && !unchanged {
+			changed[p.Apex] = p
+		}
+		if !p.CurOK {
+			delete(en.adoptions, p.Apex)
+			continue
+		}
+		adoption, cached := en.adoptions[p.Apex]
+		if !cached || !unchanged {
+			adoption = e.classifier.Classify(p.Cur)
+			en.adoptions[p.Apex] = adoption
+		}
+		b.accum(p.Cur, adoption, e.topCut)
+		if p.Cur.ResolveOK && p.Cur.NSOK && !adoption.SharedIPSuspect {
+			en.tracker.ObserveOne(p.Apex, adoption)
+		}
+	}
+	detections := en.tracker.EndDay()
+	en.res.Breakdowns = append(en.res.Breakdowns, b)
+
+	// Table V: verify origin-IP hygiene for JOIN and RESUME (§IV-C.3
+	// explicitly excludes SWITCH).
+	for _, det := range detections {
+		if det.Kind != behavior.Join && det.Kind != behavior.Resume {
+			continue
+		}
+		if day == 0 {
+			continue // no previous day yet, as with a nil prev snapshot
+		}
+		pr, ok := changed[det.Apex]
+		if !ok {
+			panic(fmt.Sprintf("experiment: day %d %v detection on %s without a record change", day, det.Kind, det.Apex))
+		}
+		d.verifyDetection(&en.res, e.verifier, pr, det)
+	}
+
+	en.randDraws += d.advance(e.w)
+	en.nextDay = day + 1
+	if en.p != nil || d.OnSeal != nil {
+		footer := encodeCursor(d.exportCursor(en.nextDay, en.randDraws, e, en.tracker, en.adoptions, &en.res, en.baseStats))
+		en.lastFooter = footer
+		if en.p != nil {
+			if err := en.p.sealRound(e.w.Day(), en.store, footer, false); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+		}
+		if d.OnSeal != nil {
+			d.OnSeal(en.store.SealedView(), footer)
+		}
+	}
+	daySpan.End()
+	return detections
+}
+
+// Checkpoint forces a full checkpoint (store + cursor) and truncates the
+// WAL, exactly like the batch run's campaign-end checkpoint — a follower
+// or a later resume needs nothing but the directory. It reuses the last
+// sealed round's footer, so the checkpoint is byte-identical to what
+// that round's cadence checkpoint would have carried. A no-op without a
+// CheckpointDir, or before the first round sealed by this process.
+func (en *DynamicsEngine) Checkpoint() {
+	checkpointEngine(en.p, en.e.w.Day(), en.store, en.lastFooter)
+}
+
+// Result assembles the campaign result over everything appended so far:
+// value-identical to a batch Run over the same number of days. The
+// returned struct shares the engine's accumulating maps and slices, so
+// read it before the next AppendDay or treat it as a snapshot that goes
+// stale.
+func (en *DynamicsEngine) Result() DynamicsResult {
+	out := en.res
+	out.Days = en.nextDay
+	if en.tracker != nil {
+		en.cfg.finish(&out, en.e, en.tracker, en.baseStats)
+	} else {
+		out.Stats = en.baseStats.Add(en.e.resolver.Stats())
+		out.Sidelined = en.e.resolver.Health().Sidelined()
+	}
+	return out
+}
+
+// Close releases the engine's WAL handle. It does not checkpoint — call
+// Checkpoint first for a clean shutdown; skipping it models a crash
+// (the sealed WAL groups still resume exactly).
+func (en *DynamicsEngine) Close() {
+	if en.closed {
+		return
+	}
+	en.closed = true
+	if en.p != nil {
+		en.p.close()
+	}
+}
+
+// ResidualEngine is the §V residual-resolution campaign as an
+// incremental process: each AppendRound is one collection round — a
+// warm-up round while any warm-up days remain, then one weekly scan
+// round (direct scan + filter + exposure fold) per call. Construct with
+// Residual.NewEngine.
+type ResidualEngine struct {
+	cfg   Residual
+	e     *residualEnv
+	store *snapstore.Store
+	p     *campaignPersist
+
+	res             ResidualResult
+	warmupRemaining int
+	nextWeek        int
+	rounds          int // rounds appended by this process
+	baseStats       dnsresolver.QueryStats
+	warmupSpan      *obs.Span
+	lastFooter      []byte
+	closed          bool
+}
+
+// NewEngine builds the campaign's incremental engine; see
+// Dynamics.NewEngine for the contract. Weeks may be zero — a daemon
+// caller appends rounds for as long as it wants.
+func (r Residual) NewEngine() *ResidualEngine {
+	if r.World == nil {
+		panic("experiment: Residual engine requires World")
+	}
+	if r.Weeks < 0 {
+		panic("experiment: Residual.Weeks must not be negative")
+	}
+	if r.Legacy {
+		panic("experiment: the incremental engine requires the streaming pipeline (Legacy must be false)")
+	}
+	if r.CheckpointDir != "" && r.ProviderAudit {
+		panic("experiment: checkpointing is incompatible with ProviderAudit (audits mutate provider state a rebuilt world cannot replay)")
+	}
+	return r.newEngine(r.setup())
+}
+
+func (r Residual) newEngine(e *residualEnv) *ResidualEngine {
+	en := &ResidualEngine{
+		cfg:   r,
+		e:     e,
+		store: snapstore.New(),
+		res: ResidualResult{
+			Weeks:       r.Weeks,
+			CFExposure:  exposure.NewTracker(),
+			IncExposure: exposure.NewTracker(),
+		},
+		warmupRemaining: r.WarmupDays,
+		nextWeek:        1,
+	}
+	en.store.SetWindow(r.window())
+	if r.CheckpointDir != "" {
+		p, err := openCampaignPersist(r.CheckpointDir, r.CheckpointEvery, r.Resume)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+		en.p = p
+		if r.Resume {
+			rec, err := p.recoverState(r.window())
+			if err != nil {
+				panic(fmt.Sprintf("experiment: recover: %v", err))
+			}
+			if rec.ok {
+				cur, err := decodeResidualCursor(rec.blob)
+				if err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				en.store = rec.store
+				en.warmupRemaining = cur.WarmupRemaining
+				en.nextWeek = cur.NextWeek
+				en.baseStats = cur.BaseStats
+				en.res.NameserverCount = cur.NameserverCount
+				en.res.NSHostsByWeek = cur.NSHostsByWeek
+				en.res.Cloudflare = cur.Cloudflare
+				en.res.Incapsula = cur.Incapsula
+				en.res.CFExposure = exposure.RestoreTracker(cur.CFExposure)
+				en.res.IncExposure = exposure.RestoreTracker(cur.IncExposure)
+				e.cnameLib.RestoreState(cur.CNAMELib)
+				if err := e.scanner.RestoreState(cur.Scanner); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				e.resolver.Health().RestoreState(cur.Health)
+				r.Obs.Restore(cur.Obs)
+				advanceWorldTo(e.w, cur.WorldDay)
+				if err := e.w.Net.RestoreCounters(cur.Net); err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+			}
+		}
+		if en.warmupRemaining < r.WarmupDays || en.nextWeek > 1 {
+			// Re-establish the invariant (state = checkpoint + WAL) with a
+			// fresh checkpoint — written before openWAL truncates the WAL,
+			// so a crash in between cannot discard the sealed days it held.
+			footer := encodeCursor(r.exportCursor(en.warmupRemaining, en.nextWeek, e, &en.res, en.baseStats))
+			if err := p.checkpointNow(e.w.Day(), en.store, footer); err != nil {
+				panic(fmt.Sprintf("experiment: %v", err))
+			}
+		}
+		if err := p.openWAL(); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+	}
+	if en.warmupRemaining > 0 {
+		en.warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", en.warmupRemaining))
+	}
+	return en
+}
+
+// InWarmup reports whether the next AppendRound is a warm-up round.
+func (en *ResidualEngine) InWarmup() bool { return en.warmupRemaining > 0 }
+
+// NextWeek returns the next scan week (Weeks+1 once the configured
+// horizon is done; it keeps counting past it under -follow).
+func (en *ResidualEngine) NextWeek() int { return en.nextWeek }
+
+// WorldDay returns the world clock.
+func (en *ResidualEngine) WorldDay() int { return en.e.w.Day() }
+
+// Rounds returns how many rounds this process has appended.
+func (en *ResidualEngine) Rounds() int { return en.rounds }
+
+// collectRound streams one collection round into the store (same
+// queries, same order as the legacy Collect) and returns its day label
+// for cursor replay. With persistence, the records tee into the WAL.
+func (en *ResidualEngine) collectRound() int {
+	day := en.e.w.Day()
+	dw := en.store.BeginDay(day)
+	put := dw.Put
+	if en.p != nil {
+		en.p.beginDay(day)
+		put = en.p.tee(dw.Put)
+	}
+	en.e.collector.CollectStream(day, put)
+	dw.Seal()
+	return day
+}
+
+// sealRound closes the round's WAL group with the current cursor,
+// writes a cadence checkpoint when due, and publishes the round to the
+// OnSeal hook.
+func (en *ResidualEngine) sealRound() {
+	en.rounds++
+	r := en.cfg
+	if en.p == nil && r.OnSeal == nil {
+		return
+	}
+	footer := encodeCursor(r.exportCursor(en.warmupRemaining, en.nextWeek, en.e, &en.res, en.baseStats))
+	en.lastFooter = footer
+	if en.p != nil {
+		if err := en.p.sealRound(en.e.w.Day(), en.store, footer, false); err != nil {
+			panic(fmt.Sprintf("experiment: %v", err))
+		}
+	}
+	if r.OnSeal != nil {
+		r.OnSeal(en.store.SealedView(), footer)
+	}
+}
+
+// AppendRound runs one collection round and folds it into every artifact
+// in place. During warm-up it collects and feeds the Incapsula CNAME
+// library, then advances the world up to seven days; afterwards each
+// call is one full scan week — provider audit, collection, nameserver
+// discovery, the Cloudflare direct scan and Incapsula re-resolution
+// through the Fig. 8 filter, and the week's exposure fold — followed by
+// a week of world time.
+func (en *ResidualEngine) AppendRound() {
+	if en.closed {
+		panic("experiment: AppendRound on a closed engine")
+	}
+	r, e, w := en.cfg, en.e, en.e.w
+	if en.warmupRemaining > 0 {
+		day := en.collectRound()
+		for cur := en.store.Cursor(day); cur.Next(); {
+			e.cnameLib.AddRecord(cur.Apex(), cur.Record())
+		}
+		en.warmupSpan.AddItems(len(e.domains))
+		step := 7
+		if en.warmupRemaining < step {
+			step = en.warmupRemaining
+		}
+		w.AdvanceDays(step)
+		en.warmupRemaining -= step
+		en.sealRound()
+		if en.warmupRemaining == 0 {
+			en.warmupSpan.End()
+			en.warmupSpan = nil
+		}
+		return
+	}
+
+	week := en.nextWeek
+	weekSpan := r.Obs.Tracer().StartSpan("week", fmt.Sprintf("week %d", week))
+	weekSpan.SetItems(len(e.domains))
+	r.audit(e)
+	// Collect at the start of the week; one cursor pass feeds both
+	// snapshot consumers — the Incapsula CNAME library and the week's
+	// fresh nameserver discovery.
+	day := en.collectRound()
+	disc := rrscan.NewNameserverDiscovery(e.cfProfile)
+	for cur := en.store.Cursor(day); cur.Next(); {
+		rec := cur.Record()
+		e.cnameLib.AddRecord(cur.Apex(), rec)
+		disc.AddRecord(rec)
+	}
+	nsHosts, nsAddrs := disc.Resolve(e.resolver)
+	en.res.addWeekHosts(week, nsHosts)
+
+	r.scanWeek(&en.res, e, week, nsAddrs)
+
+	// A week of usage dynamics between scans.
+	w.AdvanceDays(7)
+	en.nextWeek = week + 1
+	en.sealRound()
+	weekSpan.End()
+}
+
+// Checkpoint forces a full checkpoint; see DynamicsEngine.Checkpoint.
+func (en *ResidualEngine) Checkpoint() {
+	checkpointEngine(en.p, en.e.w.Day(), en.store, en.lastFooter)
+}
+
+// Result assembles the campaign result over everything appended so far;
+// Weeks is the number of completed scan weeks. See
+// DynamicsEngine.Result for the sharing caveat.
+func (en *ResidualEngine) Result() ResidualResult {
+	out := en.res
+	out.Weeks = en.nextWeek - 1
+	en.cfg.finish(&out, en.e, en.baseStats)
+	return out
+}
+
+// Close releases the engine's WAL handle; see DynamicsEngine.Close.
+func (en *ResidualEngine) Close() {
+	if en.closed {
+		return
+	}
+	en.closed = true
+	if en.p != nil {
+		en.p.close()
+	}
+}
+
+// checkpointEngine is the shared forced-checkpoint path: write a full
+// checkpoint carrying the last sealed round's footer, then truncate the
+// WAL it subsumes. Skipped before anything sealed (footer nil) — a
+// resumed-and-already-complete campaign must not rewrite its final
+// checkpoint with a recomputed one.
+func checkpointEngine(p *campaignPersist, worldDay int, store *snapstore.Store, footer []byte) {
+	if p == nil || footer == nil {
+		return
+	}
+	if err := p.checkpointNow(worldDay, store, footer); err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	if err := p.wal.Reset(); err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"rrdps/internal/core/collect"
 	"rrdps/internal/netsim"
 	"rrdps/internal/snapstore"
+	"rrdps/internal/world"
 )
 
 // retainedBytes reports the heap bytes still live after build returns:
@@ -127,4 +128,34 @@ func BenchmarkDynamicsRun(b *testing.B) {
 	}
 	b.Run("streaming", func(b *testing.B) { run(b, false) })
 	b.Run("legacy", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAppendDay times the incremental engine's steady state: one
+// AppendDay on a warmed 42-day campaign — collection, the DiffPairs
+// pass, the FSM update, and the changed-pair Table V re-verification.
+// This is the daemon mode's per-round cost and the number EXPERIMENTS.md
+// contrasts with re-running the whole batch campaign.
+//
+// The world is quiescent (all churn hazards zeroed) so every record is
+// unchanged day over day: allocs/op is then deterministic enough for the
+// CI bench gate, and the gate guards exactly the incremental-path
+// promise — an unchanged domain must cost no re-classification and no
+// re-verification, so any regression that re-touches unchanged records
+// (the failure mode the engine refactor exists to prevent) shows up as
+// an allocation jump. The churned-path cost rides along ungated in
+// BenchmarkDynamicsRun.
+func BenchmarkAppendDay(b *testing.B) {
+	cfg := world.PaperConfig(500)
+	cfg.Seed = 4242
+	cfg.JoinRate, cfg.LeaveRate, cfg.PauseRate, cfg.SwitchRate = 0, 0, 0, 0
+	en := Dynamics{World: world.New(cfg)}.NewEngine()
+	defer en.Close()
+	for en.NextDay() < 42 {
+		en.AppendDay()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.AppendDay()
+	}
 }

@@ -367,166 +367,26 @@ func (r Residual) window() int {
 	}
 }
 
-// runStreaming is the snapstore pipeline: each collection round streams
-// into the delta store, and one rank-ordered cursor pass per round feeds
-// every snapshot consumer without materializing the day as a map.
+// runStreaming is the snapstore pipeline, expressed as the incremental
+// engine driven to the configured horizon: NewEngine absorbs the
+// persistence/recovery setup, each loop turn appends exactly one
+// collection round (warm-up step or scan week), and a final forced
+// checkpoint seals the campaign. Batch and daemon callers therefore
+// share every line of per-round logic.
 func (r Residual) runStreaming(e *residualEnv) ResidualResult {
-	w := e.w
-	res := ResidualResult{
-		Weeks:       r.Weeks,
-		CFExposure:  exposure.NewTracker(),
-		IncExposure: exposure.NewTracker(),
-	}
-	store := snapstore.New()
-	store.SetWindow(r.window())
-	warmupRemaining := r.WarmupDays
-	startWeek := 1
-	rounds := 0
-	var baseStats dnsresolver.QueryStats
-
-	var p *campaignPersist
-	if r.CheckpointDir != "" {
-		var err error
-		p, err = openCampaignPersist(r.CheckpointDir, r.CheckpointEvery, r.Resume)
-		if err != nil {
-			panic(fmt.Sprintf("experiment: %v", err))
-		}
-		defer p.close()
-		if r.Resume {
-			rec, err := p.recoverState(r.window())
-			if err != nil {
-				panic(fmt.Sprintf("experiment: recover: %v", err))
-			}
-			if rec.ok {
-				cur, err := decodeResidualCursor(rec.blob)
-				if err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-				store = rec.store
-				warmupRemaining = cur.WarmupRemaining
-				startWeek = cur.NextWeek
-				baseStats = cur.BaseStats
-				res.NameserverCount = cur.NameserverCount
-				res.NSHostsByWeek = cur.NSHostsByWeek
-				res.Cloudflare = cur.Cloudflare
-				res.Incapsula = cur.Incapsula
-				res.CFExposure = exposure.RestoreTracker(cur.CFExposure)
-				res.IncExposure = exposure.RestoreTracker(cur.IncExposure)
-				e.cnameLib.RestoreState(cur.CNAMELib)
-				if err := e.scanner.RestoreState(cur.Scanner); err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-				e.resolver.Health().RestoreState(cur.Health)
-				r.Obs.Restore(cur.Obs)
-				advanceWorldTo(w, cur.WorldDay)
-				if err := w.Net.RestoreCounters(cur.Net); err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-			}
-		}
-		if warmupRemaining < r.WarmupDays || startWeek > 1 {
-			// Re-establish the invariant (state = checkpoint + WAL) with a
-			// fresh checkpoint — written before openWAL truncates the WAL,
-			// so a crash in between cannot discard the sealed days it held.
-			footer := encodeCursor(r.exportCursor(warmupRemaining, startWeek, e, &res, baseStats))
-			if err := p.checkpointNow(w.Day(), store, footer); err != nil {
-				panic(fmt.Sprintf("experiment: %v", err))
-			}
-		}
-		if err := p.openWAL(); err != nil {
-			panic(fmt.Sprintf("experiment: %v", err))
+	en := r.newEngine(e)
+	defer en.Close()
+	for en.warmupRemaining > 0 || en.nextWeek <= r.Weeks {
+		// The final scan week checkpoints regardless of StopAfterRounds,
+		// like the pre-engine pipeline's force flag.
+		final := en.warmupRemaining == 0 && en.nextWeek == r.Weeks
+		en.AppendRound()
+		if r.StopAfterRounds > 0 && en.rounds >= r.StopAfterRounds && !final {
+			return en.res // simulated kill; the partial result is not meaningful
 		}
 	}
-
-	// collectRound streams one collection round into the store (same
-	// queries, same order as the legacy Collect) and returns its day label
-	// for cursor replay. With persistence, the records tee into the WAL.
-	collectRound := func() int {
-		day := w.Day()
-		dw := store.BeginDay(day)
-		put := dw.Put
-		if p != nil {
-			p.beginDay(day)
-			put = p.tee(dw.Put)
-		}
-		e.collector.CollectStream(day, put)
-		dw.Seal()
-		return day
-	}
-
-	// sealRound closes the round's WAL group with the current cursor and
-	// writes a full checkpoint when due. stop simulates a kill for the
-	// resume tests.
-	sealRound := func(warmupLeft, nextWeek int, force bool) (stop bool) {
-		rounds++
-		if p != nil || r.OnSeal != nil {
-			footer := encodeCursor(r.exportCursor(warmupLeft, nextWeek, e, &res, baseStats))
-			if p != nil {
-				if err := p.sealRound(w.Day(), store, footer, force); err != nil {
-					panic(fmt.Sprintf("experiment: %v", err))
-				}
-			}
-			if r.OnSeal != nil {
-				r.OnSeal(store.SealedView(), footer)
-			}
-		}
-		return r.StopAfterRounds > 0 && rounds >= r.StopAfterRounds && !force
-	}
-
-	// Warm-up: age the world so the first scan already sees residue, and
-	// feed the CNAME library weekly along the way.
-	var warmupSpan *obs.Span
-	if warmupRemaining > 0 {
-		warmupSpan = r.Obs.Tracer().StartSpan("warmup", fmt.Sprintf("%d days", warmupRemaining))
-	}
-	for warmupRemaining > 0 {
-		day := collectRound()
-		for cur := store.Cursor(day); cur.Next(); {
-			e.cnameLib.AddRecord(cur.Apex(), cur.Record())
-		}
-		warmupSpan.AddItems(len(e.domains))
-		step := 7
-		if warmupRemaining < step {
-			step = warmupRemaining
-		}
-		w.AdvanceDays(step)
-		warmupRemaining -= step
-		if sealRound(warmupRemaining, startWeek, false) {
-			return res // simulated kill; the partial result is not meaningful
-		}
-	}
-	warmupSpan.End()
-
-	for week := startWeek; week <= r.Weeks; week++ {
-		weekSpan := r.Obs.Tracer().StartSpan("week", fmt.Sprintf("week %d", week))
-		weekSpan.SetItems(len(e.domains))
-		r.audit(e)
-		// Collect at the start of the week; one cursor pass feeds both
-		// snapshot consumers — the Incapsula CNAME library and the week's
-		// fresh nameserver discovery.
-		day := collectRound()
-		disc := rrscan.NewNameserverDiscovery(e.cfProfile)
-		for cur := store.Cursor(day); cur.Next(); {
-			rec := cur.Record()
-			e.cnameLib.AddRecord(cur.Apex(), rec)
-			disc.AddRecord(rec)
-		}
-		nsHosts, nsAddrs := disc.Resolve(e.resolver)
-		res.addWeekHosts(week, nsHosts)
-
-		r.scanWeek(&res, e, week, nsAddrs)
-
-		// A week of usage dynamics between scans.
-		w.AdvanceDays(7)
-		stop := sealRound(0, week+1, week == r.Weeks)
-		weekSpan.End()
-		if stop {
-			return res // simulated kill; the partial result is not meaningful
-		}
-	}
-
-	r.finish(&res, e, baseStats)
-	return res
+	en.Checkpoint()
+	return en.Result()
 }
 
 // mergeSidelined unions sorted sideline lists, keeping the result sorted

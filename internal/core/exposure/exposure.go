@@ -49,6 +49,18 @@ func (t *Tracker) AddWeek(week int, rep filter.Report) {
 // Weeks returns the number of observations.
 func (t *Tracker) Weeks() int { return len(t.weeks) }
 
+// LatestCounts returns the newest week's label and hidden/verified
+// counts — the single-week increment of WeeklyCounts, for consumers
+// (the follow-mode daemons) that report each appended week as it lands.
+// ok is false on an empty tracker.
+func (t *Tracker) LatestCounts() (week, hidden, verified int, ok bool) {
+	if len(t.weeks) == 0 {
+		return 0, 0, 0, false
+	}
+	obs := t.weeks[len(t.weeks)-1]
+	return obs.Week, len(obs.Hidden), len(obs.Verified), true
+}
+
 // WeekState is one week's observation flattened to sorted name lists —
 // the serializable form of WeekObservation.
 type WeekState struct {

@@ -224,6 +224,47 @@ func Figure9(res experiment.ResidualResult) string {
 	return b.String()
 }
 
+// DynamicsProgress renders the one-line summary a follow-mode daemon
+// prints after each appended day: the day's adoption numbers and
+// behaviour increments, computed from the single-day artifacts
+// (AdoptionBreakdown, behavior.Tracker.DayCounts) rather than by
+// re-aggregating the campaign.
+func DynamicsProgress(day, worldDay int, b experiment.AdoptionBreakdown, counts map[behavior.Kind]int) string {
+	var parts []string
+	for _, k := range []behavior.Kind{behavior.Join, behavior.Leave, behavior.Switch, behavior.Pause, behavior.Resume} {
+		if n := counts[k]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, k))
+		}
+	}
+	events := "no behaviour events"
+	if len(parts) > 0 {
+		events = strings.Join(parts, ", ")
+	}
+	adoption := 0.0
+	if b.Population > 0 {
+		adoption = float64(b.Total) / float64(b.Population) * 100
+	}
+	return fmt.Sprintf("day %d sealed (world day %d): %d/%d adopters (%.2f%%), %s",
+		day, worldDay, b.Total, b.Population, adoption, events)
+}
+
+// ResidualProgress renders the one-line summary a follow-mode daemon
+// prints after each appended round, from the newest week's exposure
+// increments (exposure.Tracker.LatestCounts). Warm-up rounds — before
+// any scan week landed — report only the world clock.
+func ResidualProgress(worldDay int, res experiment.ResidualResult) string {
+	week, cfHidden, cfVerified, ok := res.CFExposure.LatestCounts()
+	if !ok {
+		return fmt.Sprintf("warm-up round sealed (world day %d)", worldDay)
+	}
+	line := fmt.Sprintf("week %d sealed (world day %d): cloudflare %d hidden/%d verified",
+		week, worldDay, cfHidden, cfVerified)
+	if iw, ih, iv, iok := res.IncExposure.LatestCounts(); iok && iw == week {
+		line += fmt.Sprintf(", incapsula %d hidden/%d verified", ih, iv)
+	}
+	return line
+}
+
 // Figure7 renders per-PoP query counts for one anycast nameserver
 // endpoint — the vantage-point load spreading of Fig. 7.
 func Figure7(counts map[netsim.Region]uint64) string {

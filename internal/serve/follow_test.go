@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rrdps/internal/core/experiment"
+	"rrdps/internal/world"
+)
+
+// TestFollowEqualsCheckpoint pins the follow mode's endgame: once the
+// campaign has finished and force-checkpointed, a FollowSource over the
+// directory must answer every endpoint byte-identically to a
+// CheckpointSource over the same directory — following a campaign to its
+// end and loading its final checkpoint are the same service.
+func TestFollowEqualsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	runDynamicsCampaign(t, dir, 5)
+	fs, err := OpenFollow(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ckpt, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, ok := fs.Epoch()
+	if !ok {
+		t.Fatal("follow source has no epoch over a finished campaign")
+	}
+	followSrv, ckptSrv := New(Config{Source: fs}), New(Config{Source: ckpt})
+	paths := []string{"/v1/stats", "/v1/domains"}
+	apexes := e.View.Apexes()
+	for i := 0; i < len(apexes); i += 20 {
+		paths = append(paths,
+			"/v1/domain/"+string(apexes[i]),
+			"/v1/domain/"+string(apexes[i])+"/history")
+	}
+	for _, path := range paths {
+		fw := get(t, followSrv.Handler(), path, nil)
+		cw := get(t, ckptSrv.Handler(), path, nil)
+		if fw.Code != http.StatusOK || cw.Code != http.StatusOK {
+			t.Fatalf("%s: follow=%d checkpoint=%d, want 200/200", path, fw.Code, cw.Code)
+		}
+		if fw.Body.String() != cw.Body.String() {
+			t.Errorf("%s: follow and checkpoint responses differ:\nfollow:\n%s\ncheckpoint:\n%s",
+				path, fw.Body.String(), cw.Body.String())
+		}
+	}
+}
+
+// TestFollowEmptyDir: attaching to a campaign that has not sealed its
+// first round yet is not an error — the source reports no epoch (the
+// server answers 503) until one lands.
+func TestFollowEmptyDir(t *testing.T) {
+	fs, err := OpenFollow(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, ok := fs.Epoch(); ok {
+		t.Fatal("epoch reported over an empty directory")
+	}
+	if w := get(t, New(Config{Source: fs}).Handler(), "/v1/stats", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty follow dir: status %d, want 503", w.Code)
+	}
+	if _, err := OpenFollow("/does/not/exist"); err == nil {
+		t.Fatal("OpenFollow on a missing directory must error")
+	}
+}
+
+// TestFollowTailsLiveWriter is the -race keystone for follow mode: a
+// reader polling the checkpoint directory while the campaign engine is
+// actively sealing rounds into it must only ever observe complete
+// epochs — contiguous days from 0 whose latest sealed day matches the
+// campaign cursor — advancing monotonically, and must have served every
+// sealed day's epoch within one seal cycle by the time the writer is
+// done. The checkpoint cadence of 2 makes the writer alternate between
+// WAL-append and checkpoint-then-truncate rotations under the reader.
+func TestFollowTailsLiveWriter(t *testing.T) {
+	const days = 8
+	dir := t.TempDir()
+	cfg := world.PaperConfig(200)
+	cfg.Seed = 9001
+	cfg.JoinRate = 0.01
+	cfg.LeaveRate = 0.02
+	cfg.PauseRate = 0.04
+	cfg.SwitchRate = 0.01
+
+	fs, err := OpenFollow(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Start(100 * time.Microsecond)
+	defer fs.Close()
+
+	// Writer and reader run in lockstep: the writer seals a day, then
+	// waits for the reader to observe that day's epoch before sealing
+	// the next. That asserts every sealed day is served — not just the
+	// final one — and stays deterministic when the test runs on a loaded
+	// machine (a free-running writer can outpace the reader, which would
+	// turn "observe each day" into a scheduling lottery). The 100µs
+	// poller still races every WAL append and checkpoint rotation in
+	// between.
+	var (
+		wg        sync.WaitGroup
+		readerErr error
+		// Buffered so a send can never block the test goroutine if the
+		// reader bails out on its deadline; the ack is what enforces the
+		// lockstep.
+		writerDay = make(chan int, days)
+		readerAck = make(chan struct{})
+	)
+	checkEpoch := func(e *Epoch) int {
+		t.Helper()
+		if e.State.Dynamics == nil {
+			t.Error("epoch carries no dynamics state")
+			return -1
+		}
+		latest, ok := e.View.LatestDay()
+		if !ok {
+			t.Error("epoch view holds no sealed day")
+			return -1
+		}
+		if want := e.State.Dynamics.NextDay - 1; latest != want {
+			t.Errorf("partial epoch: view at day %d, cursor says %d", latest, want)
+		}
+		// The retained days must be a contiguous run ending at latest — a
+		// gap means the reader stitched a WAL onto a checkpoint it does
+		// not extend (the read-ordering race Refresh is built to avoid).
+		days := e.View.Days()
+		for i, d := range days {
+			if want := latest - (len(days) - 1 - i); d != want {
+				t.Errorf("retained days %v are not contiguous up to %d", days, latest)
+				break
+			}
+		}
+		return latest
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := -1
+		for day := range writerDay {
+			// Poll until this sealed day is visible; the poller fires every
+			// 100µs, so "within one seal cycle" means almost immediately.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if e, ok := fs.Epoch(); ok {
+					got := checkEpoch(e)
+					if got < last {
+						t.Errorf("epoch went backwards: day %d after day %d", got, last)
+					}
+					if got > last {
+						last = got
+					}
+					if got >= day {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					readerErr = http.ErrServerClosed // any sentinel: flag below
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			readerAck <- struct{}{}
+		}
+	}()
+
+	en := experiment.Dynamics{
+		World:           world.New(cfg),
+		CheckpointDir:   dir,
+		CheckpointEvery: 2,
+	}.NewEngine()
+	for day := 0; day < days; day++ {
+		en.AppendDay()
+		writerDay <- day
+		select {
+		case <-readerAck:
+		case <-time.After(10 * time.Second):
+			t.Fatal("reader never acknowledged a sealed day")
+		}
+	}
+	en.Checkpoint()
+	en.Close()
+	close(writerDay)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatal("reader timed out waiting for a sealed day to become visible")
+	}
+
+	// After the final forced checkpoint, one manual refresh must land the
+	// reader on the finished campaign.
+	if _, err := fs.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := fs.Epoch()
+	if !ok {
+		t.Fatal("no epoch after the campaign finished")
+	}
+	if latest := checkEpoch(e); latest != days-1 {
+		t.Fatalf("final epoch at day %d, want %d", latest, days-1)
+	}
+}

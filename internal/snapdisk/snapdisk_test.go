@@ -501,7 +501,10 @@ func FuzzCheckpointDecode(f *testing.F) {
 }
 
 // FuzzWALReplay pins the WAL replay guarantees on arbitrary input: no
-// panics, sealed days strictly increasing, and replay deterministic.
+// panics, sealed days strictly increasing, replay deterministic, and —
+// the property follow-mode tailing leans on — replaying any byte prefix
+// yields a prefix of the full log's days, so a reader that catches the
+// writer mid-append sees a shorter history, never a different one.
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte(walMagic))
@@ -524,6 +527,12 @@ func FuzzWALReplay(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(b)
+		// Torn tail (the writer died mid-entry) and a flipped bit inside a
+		// sealed group (disk corruption): the shapes tailing must survive.
+		f.Add(b[:len(b)-3])
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
 	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		days, _ := ReplayWALBytes(b)
@@ -536,7 +545,86 @@ func FuzzWALReplay(f *testing.F) {
 		if !reflect.DeepEqual(days, again) {
 			t.Fatal("replay not deterministic")
 		}
+		for _, cut := range []int{len(b) / 3, len(b) / 2, len(b) - 1} {
+			if cut <= 0 || cut >= len(b) {
+				continue
+			}
+			pre, _ := ReplayWALBytes(b[:cut])
+			if len(pre) > len(days) || (len(pre) > 0 && !reflect.DeepEqual(pre, days[:len(pre)])) {
+				t.Fatalf("prefix replay at %d bytes is not a prefix of the full replay:\nprefix: %+v\nfull:   %+v",
+					cut, pre, days)
+			}
+		}
 	})
+}
+
+// TestWALReplayWhileWriting is the snapdisk half of the follow-mode
+// guarantee: a reader that snapshots the WAL file (os.ReadFile, exactly
+// what serve.FollowSource does) while the owning campaign is actively
+// appending must only ever decode complete sealed groups, with each
+// successive read extending the previous one — never a partial group,
+// never a rewritten history. Run with -race: reader and writer share no
+// Go state, and this test is what checks that claim.
+func TestWALReplayWhileWriting(t *testing.T) {
+	const days = 40
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	done := make(chan struct{})
+	var readerFail error
+	go func() {
+		defer close(done)
+		var prev []WALDay
+		for i := 0; ; i++ {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				readerFail = err
+				return
+			}
+			got, _ := ReplayWALBytes(b)
+			for j, wd := range got {
+				if want := []byte(fmt.Sprintf("footer-%d", wd.Day)); !bytes.Equal(wd.Footer, want) {
+					readerFail = fmt.Errorf("day %d: footer %q, want %q — a partial group leaked", wd.Day, wd.Footer, want)
+					return
+				}
+				if j < len(prev) && !reflect.DeepEqual(prev[j], got[j]) {
+					readerFail = fmt.Errorf("read %d rewrote already-observed day %d", i, prev[j].Day)
+					return
+				}
+			}
+			if len(got) < len(prev) {
+				readerFail = fmt.Errorf("read %d went backwards: %d days after %d", i, len(got), len(prev))
+				return
+			}
+			prev = got
+			if len(got) == days {
+				return
+			}
+		}
+	}()
+
+	recs := walRecords()
+	for day := 0; day < days; day++ {
+		if err := w.BeginDay(day); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Put(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.SealDay([]byte(fmt.Sprintf("footer-%d", day))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if readerFail != nil {
+		t.Fatal(readerFail)
+	}
 }
 
 // TestOpenDirReadOnly pins the read-only contract: an existing directory

@@ -69,6 +69,17 @@ type Residual = experiment.Residual
 // ResidualResult carries the §V campaign outputs.
 type ResidualResult = experiment.ResidualResult
 
+// DynamicsEngine is the incremental form of the Dynamics campaign: build
+// one with Dynamics.NewEngine, then AppendDay/Checkpoint/Result at the
+// caller's own cadence — the daemon (-follow) mode's substrate. Batch
+// Run() is a thin loop over the same engine, so appended and batch
+// results are value-identical.
+type DynamicsEngine = experiment.DynamicsEngine
+
+// ResidualEngine is the incremental form of the Residual campaign
+// (AppendRound seals one collection round: a warmup day or a scan week).
+type ResidualEngine = experiment.ResidualEngine
+
 // PurgeTrial replicates the §V-A.3 controlled purge experiment.
 type PurgeTrial = experiment.PurgeTrial
 
@@ -207,6 +218,16 @@ var NewLookupServer = serve.New
 
 // OpenLookupCheckpoint loads the newest checkpoint in dir as a source.
 var OpenLookupCheckpoint = serve.OpenCheckpoint
+
+// FollowLookupSource tails a checkpoint directory another process is
+// writing, swapping in a new epoch whenever a round seals — the
+// `rrserve -follow` mode. Answers are never more than one poll interval
+// behind the newest durable round.
+type FollowLookupSource = serve.FollowSource
+
+// OpenLookupFollow opens dir for following; the directory may be empty
+// (the source reports no epoch until the first round seals).
+var OpenLookupFollow = serve.OpenFollow
 
 // Matcher attributes DNS records to providers (A/CNAME/NS matching).
 type Matcher = match.Matcher

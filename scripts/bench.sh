@@ -44,6 +44,12 @@ run ./internal/dnsmsg '.' -count="$count" -benchtime="$benchtime"
 # The scan loop the campaigns multiply by millions of domain-days.
 run . 'BenchmarkScan' -count="$count" -benchtime="$benchtime"
 
+# The incremental engine's steady-state day append (daemon mode's
+# per-round cost). Quiescent world: allocs/op is deterministic, so the
+# gate catches any change that re-touches unchanged records.
+run ./internal/core/experiment 'BenchmarkAppendDay' \
+  -count="$count" -benchtime="$benchtime"
+
 # Campaign memory footprint; a single shot is exact (retained bytes are
 # measured, not timed) and keeps the suite fast.
 run ./internal/core/experiment 'BenchmarkDynamicsMemory' \

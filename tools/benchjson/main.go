@@ -15,7 +15,7 @@
 //
 // Compare mode gates a fresh report against a committed baseline:
 //
-//	benchjson -compare BENCH_resolve.json fresh.json -tol 0.10
+//	benchjson -compare -tol 0.10 BENCH_resolve.json fresh.json
 //
 // It fails (exit 1) when any baseline benchmark is missing from the fresh
 // report, regresses allocs/op at all, or regresses ns/op by more than the
@@ -64,7 +64,7 @@ func main() {
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare <baseline.json> <fresh.json> [-tol 0.10] [-gate regexp]")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-tol 0.10] [-gate regexp] <baseline.json> <fresh.json>")
 			os.Exit(2)
 		}
 		gateRe, err := regexp.Compile(*gate)
@@ -195,12 +195,14 @@ func load(path string) (map[string]Benchmark, error) {
 	return out, nil
 }
 
-// defaultGate is the resolve hot path: the codec and resolver benchmarks
-// whose ns/op and allocs/op are single-threaded and deterministic enough
-// for a hard gate. Campaign-scale benchmarks (Scan*, DynamicsMemory) run
-// concurrent workers, so their allocs/op wobbles with scheduling — they
-// are reported for trend-watching but never fail the build.
-const defaultGate = `^Benchmark(Resolve|Exchange|Encode|Decode|ParseName)`
+// defaultGate is the hot-path set: the codec and resolver benchmarks,
+// plus the incremental engine's steady-state AppendDay — all
+// single-threaded with deterministic allocs/op, so a hard gate holds.
+// Campaign-scale benchmarks (Scan*, DynamicsMemory, DynamicsRun) run
+// concurrent workers or churned worlds, so their allocs/op wobbles with
+// scheduling — they are reported for trend-watching but never fail the
+// build.
+const defaultGate = `^Benchmark(Resolve|Exchange|Encode|Decode|ParseName|AppendDay)`
 
 // runCompare gates fresh against base. For gated benchmarks, a missing
 // entry or any allocs/op regression fails outright and ns/op regressions
