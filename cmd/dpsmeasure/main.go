@@ -17,6 +17,7 @@ import (
 	"rrdps/internal/core/experiment"
 	"rrdps/internal/core/report"
 	"rrdps/internal/obs"
+	"rrdps/internal/scenario"
 	"rrdps/internal/shardrun"
 	"rrdps/internal/world"
 )
@@ -69,6 +70,7 @@ func main() {
 	boost := flag.Float64("churn-boost", 1, "multiply all behaviour hazards (small worlds need >1 for dense figures)")
 	cf := cmdutil.RegisterCampaignFlags(flag.CommandLine,
 		"snapshot-store retention in days: 0 = streaming default (2), <0 = keep every day replayable, >=2 = that many days")
+	cf.ScenarioOwns("sites", "days", "seed", "churn-boost")
 	flag.Parse()
 	if *sites <= 0 || *days <= 0 || *boost <= 0 {
 		fmt.Fprintln(os.Stderr, "dpsmeasure: -sites, -days, and -churn-boost must be positive")
@@ -78,6 +80,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
 		os.Exit(2)
 	}
+	comp, err := cf.LoadScenario(scenario.CampaignDynamics)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpsmeasure: %v\n", err)
+		os.Exit(2)
+	}
+	if cf.ValidateOnly {
+		fmt.Printf("scenario %s ok (sha256:%s)\n", comp.Name(), comp.Hash())
+		return
+	}
 	policy := cf.Policy()
 
 	cfg := world.PaperConfig(*sites)
@@ -86,6 +97,19 @@ func main() {
 	cfg.LeaveRate *= *boost
 	cfg.PauseRate *= *boost
 	cfg.SwitchRate *= *boost
+
+	var scn *experiment.ScenarioInfo
+	if comp != nil {
+		// The spec owns the experiment shape; mirror it into the locals
+		// the announcement lines and campaign construction read. The
+		// provenance line goes to stderr so a scenario that reproduces the
+		// default run keeps stdout byte-identical to it.
+		cfg = comp.World
+		policy = comp.Policy
+		*sites, *days, *seed = cfg.NumSites, comp.Days, cfg.Seed
+		scn = comp.Info
+		fmt.Fprintf(os.Stderr, "dpsmeasure: scenario %s (sha256:%s)\n", comp.Name(), comp.Hash())
+	}
 
 	if cf.Resume {
 		fmt.Fprintf(os.Stderr, "dpsmeasure: resuming campaign state from %s\n", cf.CheckpointDir)
@@ -135,6 +159,7 @@ func main() {
 			CheckpointDir:   cf.CheckpointDir,
 			CheckpointEvery: cf.CheckpointEvery,
 			Resume:          cf.Resume,
+			Scenario:        scn,
 		}
 		if cf.Follow {
 			// Daemon mode has no horizon: -days is ignored, the engine

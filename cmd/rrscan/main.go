@@ -19,6 +19,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/scenario"
 	"rrdps/internal/shardrun"
 	"rrdps/internal/world"
 )
@@ -89,6 +90,7 @@ func main() {
 	incStart := flag.Int("incapsula-start", 0, "first week (1-based, inclusive) the Incapsula CNAME re-resolution runs; 0 or 1 = every week (the paper covers its last three)")
 	cf := cmdutil.RegisterCampaignFlags(flag.CommandLine,
 		"snapshot-store retention in collection rounds: 0 = streaming default (1), <0 = keep every round replayable, >=1 = that many rounds")
+	cf.ScenarioOwns("sites", "weeks", "seed", "churn-boost", "warmup", "incapsula-start")
 	flag.Parse()
 	if *sites <= 0 || *weeks <= 0 || *boost <= 0 {
 		fmt.Fprintln(os.Stderr, "rrscan: -sites, -weeks, and -churn-boost must be positive")
@@ -98,6 +100,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
 		os.Exit(2)
 	}
+	comp, err := cf.LoadScenario(scenario.CampaignResidual)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrscan: %v\n", err)
+		os.Exit(2)
+	}
+	if cf.ValidateOnly {
+		fmt.Printf("scenario %s ok (sha256:%s)\n", comp.Name(), comp.Hash())
+		return
+	}
 	policy := cf.Policy()
 
 	cfg := world.PaperConfig(*sites)
@@ -105,6 +116,22 @@ func main() {
 	cfg.LeaveRate *= *boost
 	cfg.SwitchRate *= *boost
 	cfg.JoinRate *= *boost
+
+	var scn *experiment.ScenarioInfo
+	var attackLoad *experiment.AttackLoad
+	if comp != nil {
+		// The spec owns the experiment shape; mirror it into the locals
+		// the announcement lines and campaign construction read. The
+		// provenance line goes to stderr so a scenario that reproduces a
+		// flag-driven run keeps stdout byte-identical to it.
+		cfg = comp.World
+		policy = comp.Policy
+		*sites, *weeks, *seed = cfg.NumSites, comp.Weeks, cfg.Seed
+		*warmup, *incStart = comp.WarmupDays, comp.IncapsulaStartWeek
+		scn = comp.Info
+		attackLoad = comp.Attack
+		fmt.Fprintf(os.Stderr, "rrscan: scenario %s (sha256:%s)\n", comp.Name(), comp.Hash())
+	}
 
 	if cf.Resume {
 		fmt.Fprintf(os.Stderr, "rrscan: resuming campaign state from %s\n", cf.CheckpointDir)
@@ -167,6 +194,8 @@ func main() {
 			CheckpointDir:      cf.CheckpointDir,
 			CheckpointEvery:    cf.CheckpointEvery,
 			Resume:             cf.Resume,
+			Scenario:           scn,
+			Attack:             attackLoad,
 		}
 		if cf.Follow {
 			// Daemon mode has no horizon: -weeks is ignored, the engine

@@ -62,6 +62,26 @@ func ExamplePurgeTrial() {
 	// residual record purged at week 4
 }
 
+// ExampleLoadScenario loads a spec from the scenario library and
+// compiles it onto the runtime configuration types.
+func ExampleLoadScenario() {
+	spec, err := rrdps.LoadScenario("scenarios/paper-baseline.json")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	comp := rrdps.CompileScenario(spec)
+	fmt.Printf("scenario: %s\n", comp.Name())
+	fmt.Printf("kind: %s\n", comp.Kind)
+	fmt.Printf("sites: %d\n", comp.World.NumSites)
+	fmt.Printf("days: %d\n", comp.Days)
+	// Output:
+	// scenario: paper-baseline
+	// kind: dynamics
+	// sites: 2000
+	// days: 42
+}
+
 // ExampleParseName shows name normalization.
 func ExampleParseName() {
 	n, _ := rrdps.ParseName("WWW.Example.COM.")

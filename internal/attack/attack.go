@@ -134,6 +134,13 @@ func NewBotnet(n int, alloc func() netip.Addr, rng *rand.Rand) *Botnet {
 // Size returns the number of bots.
 func (b *Botnet) Size() int { return len(b.bots) }
 
+// Bot returns the i'th bot's address and region, so drivers outside this
+// package can route per-bot traffic (e.g. the scenario-driven reflection
+// load in core/experiment).
+func (b *Botnet) Bot(i int) (netip.Addr, netsim.Region) {
+	return b.bots[i], b.regions[i]
+}
+
 // Scenario describes one flood experiment.
 type Scenario struct {
 	Network *netsim.Network

@@ -16,6 +16,7 @@ import (
 	"rrdps/internal/core/report"
 	"rrdps/internal/dnsresolver"
 	"rrdps/internal/obs"
+	"rrdps/internal/scenario"
 )
 
 // CampaignFlags is the flag block shared by cmd/dpsmeasure and
@@ -57,6 +58,18 @@ type CampaignFlags struct {
 	Follow         bool
 	MaxDays        int
 	FollowInterval time.Duration
+	// Scenario is a declarative spec file (see internal/scenario) that
+	// replaces the experiment-shaping flags; ValidateOnly parses and
+	// compiles it, prints its identity, and exits without running.
+	Scenario     string
+	ValidateOnly bool
+
+	// fs is the flag set the block was registered on; conflict detection
+	// walks it to find explicitly-set flags.
+	fs *flag.FlagSet
+	// scenarioOwned names the binary-specific flags a scenario spec
+	// controls (see ScenarioOwns).
+	scenarioOwned []string
 }
 
 // RegisterCampaignFlags registers the shared campaign flag block on fs.
@@ -81,7 +94,36 @@ func RegisterCampaignFlags(fs *flag.FlagSet, snapWindowHelp string) *CampaignFla
 	fs.BoolVar(&f.Follow, "follow", false, "daemon mode: keep appending collection rounds until SIGTERM (or -max-days), sealing each into -checkpoint-dir for rrserve -follow readers")
 	fs.IntVar(&f.MaxDays, "max-days", 0, "with -follow: stop after this many appended collection rounds (0 = run until SIGTERM)")
 	fs.DurationVar(&f.FollowInterval, "follow-interval", 0, "with -follow: pause between appended rounds (0 = append continuously)")
+	fs.StringVar(&f.Scenario, "scenario", "", "run the campaign a declarative scenario spec describes (see scenarios/); mutually exclusive with the experiment-shaping flags")
+	fs.BoolVar(&f.ValidateOnly, "validate-only", false, "with -scenario: parse, validate, and compile the spec, print its name and hash, and exit without running")
+	f.fs = fs
 	return f
+}
+
+// ScenarioOwns names the binary-specific experiment-shaping flags a
+// scenario spec controls (e.g. "sites", "days", "seed"). When -scenario
+// is given, Validate rejects any of these set explicitly on the command
+// line: a spec describes the whole experiment, and a half-overridden
+// spec would report a hash that doesn't match what actually ran. The
+// shared policy flags -retries and -hedge are always owned; operational
+// flags (workers, checkpointing, metrics, ...) stay available.
+func (f *CampaignFlags) ScenarioOwns(names ...string) {
+	f.scenarioOwned = append(f.scenarioOwned, names...)
+}
+
+// explicitlySet reports whether the named flag was set on the command
+// line (as opposed to holding its default).
+func (f *CampaignFlags) explicitlySet(name string) bool {
+	if f.fs == nil {
+		return false
+	}
+	set := false
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // Validate checks the flag block's invariants, returning a usage error.
@@ -161,7 +203,59 @@ func (f *CampaignFlags) Validate() error {
 	if f.FollowInterval != 0 && !f.Follow {
 		return fmt.Errorf("-follow-interval needs -follow")
 	}
+	if f.ValidateOnly && f.Scenario == "" {
+		return fmt.Errorf("-validate-only needs -scenario")
+	}
+	if f.Scenario != "" {
+		if f.Legacy {
+			return fmt.Errorf("-scenario is incompatible with -legacy (scenario campaigns run the streaming pipeline)")
+		}
+		if f.Shards > 1 {
+			return fmt.Errorf("-scenario is incompatible with -shards > 1 (scenario campaigns run unsharded so attack load and provenance stay in one engine)")
+		}
+		// The spec owns the experiment shape; an explicitly-set owned flag
+		// would silently disagree with the spec hash recorded in the
+		// campaign's provenance. Fail naming both sides.
+		for _, name := range append([]string{"retries", "hedge"}, f.scenarioOwned...) {
+			if f.explicitlySet(name) {
+				return fmt.Errorf("-scenario %s conflicts with explicit -%s: the scenario spec owns that knob (edit the spec instead)", f.Scenario, name)
+			}
+		}
+		// Fail on an unreadable file now, at flag-validation time, not
+		// after a world build.
+		if _, err := os.Stat(f.Scenario); err != nil {
+			return fmt.Errorf("-scenario: %w", err)
+		}
+	}
 	return nil
+}
+
+// LoadScenario loads, compiles, and kind-checks the -scenario spec;
+// wantKind is scenario.CampaignDynamics or scenario.CampaignResidual
+// (the calling binary's campaign). It returns (nil, nil) when no
+// scenario was requested. Spec-pinned Workers/SnapWindow land in the
+// flag block unless the user explicitly set those flags — they are
+// operational knobs, so a command-line override is allowed and wins.
+func (f *CampaignFlags) LoadScenario(wantKind string) (*scenario.Compiled, error) {
+	if f.Scenario == "" {
+		return nil, nil
+	}
+	spec, err := scenario.Load(f.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	comp := scenario.Compile(spec)
+	if comp.Kind != wantKind {
+		return nil, fmt.Errorf("%s: scenario %q is a %s campaign; this binary runs %s campaigns",
+			f.Scenario, comp.Name(), comp.Kind, wantKind)
+	}
+	if comp.Workers > 0 && !f.explicitlySet("workers") {
+		f.Workers = comp.Workers
+	}
+	if comp.SnapWindow > 0 && !f.explicitlySet("snap-window") {
+		f.SnapWindow = comp.SnapWindow
+	}
+	return comp, nil
 }
 
 // Policy builds the retry policy the flag block describes.

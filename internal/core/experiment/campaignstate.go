@@ -63,6 +63,9 @@ type CampaignState struct {
 	Kind     string
 	Dynamics *DynamicsState
 	Residual *ResidualState
+	// Scenario is the provenance of the scenario spec that configured
+	// the campaign, nil for flag-driven runs.
+	Scenario *ScenarioInfo
 }
 
 // WorldDay returns the cursor's world clock regardless of kind.
@@ -94,7 +97,8 @@ func DecodeCampaignState(blob []byte) (CampaignState, error) {
 			return CampaignState{}, err
 		}
 		return CampaignState{
-			Kind: cur.Kind,
+			Kind:     cur.Kind,
+			Scenario: cur.Scenario,
 			Dynamics: &DynamicsState{
 				WorldDay:    cur.WorldDay,
 				NextDay:     cur.NextDay,
@@ -110,7 +114,8 @@ func DecodeCampaignState(blob []byte) (CampaignState, error) {
 			return CampaignState{}, err
 		}
 		return CampaignState{
-			Kind: cur.Kind,
+			Kind:     cur.Kind,
+			Scenario: cur.Scenario,
 			Residual: &ResidualState{
 				WorldDay:        cur.WorldDay,
 				NextWeek:        cur.NextWeek,

@@ -228,6 +228,9 @@ type dynamicsCursor struct {
 	// checkpointed rounds' queries never recur on resume, so the
 	// counters must travel with the cursor.
 	Net netsim.CountersState `json:"net"`
+	// Scenario is the provenance of the scenario spec that configured
+	// the campaign, nil for flag-driven runs.
+	Scenario *ScenarioInfo `json:"scenario,omitempty"`
 }
 
 // residualCursor is the Residual campaign's counterpart.
@@ -248,6 +251,7 @@ type residualCursor struct {
 	BaseStats       dnsresolver.QueryStats  `json:"base_stats"`
 	Obs             obs.Snapshot            `json:"obs"`
 	Net             netsim.CountersState    `json:"net"`
+	Scenario        *ScenarioInfo           `json:"scenario,omitempty"`
 }
 
 const (
@@ -305,6 +309,7 @@ func (d Dynamics) exportCursor(nextDay, randDraws int, e *dynamicsEnv, tracker *
 		Health:     e.resolver.Health().ExportState(),
 		Obs:        d.Obs.Snapshot(),
 		Net:        e.w.Net.ExportCounters(),
+		Scenario:   d.Scenario,
 	}
 	if tracker != nil {
 		cur.HaveTracker = true
@@ -338,6 +343,7 @@ func (r Residual) exportCursor(warmupRemaining, nextWeek int, e *residualEnv, re
 		BaseStats:       base,
 		Obs:             r.Obs.Snapshot(),
 		Net:             e.w.Net.ExportCounters(),
+		Scenario:        r.Scenario,
 	}
 }
 

@@ -233,6 +233,12 @@ type Dynamics struct {
 	// simply starts from the beginning.
 	Resume bool
 
+	// Scenario, when non-nil, records which declarative scenario spec
+	// produced this campaign; it rides along into every checkpoint and
+	// WAL footer so rrserve can answer "what scenario produced this
+	// epoch". It does not influence the computation.
+	Scenario *ScenarioInfo
+
 	// StopAfterDays, when positive, stops the campaign after that many
 	// collected days and returns the partial result — the test hook that
 	// simulates a kill at a day boundary. Exported so the shard-parallel

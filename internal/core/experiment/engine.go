@@ -520,6 +520,10 @@ func (en *ResidualEngine) AppendRound() {
 	nsHosts, nsAddrs := disc.Resolve(e.resolver)
 	en.res.addWeekHosts(week, nsHosts)
 
+	// The reflection flood (if configured) loads the fleet the scan is
+	// about to hammer: collection and discovery above see a clean fabric,
+	// so only the direct scan's recall is exposed to the attack.
+	r.floodWeek(e, week, nsAddrs)
 	r.scanWeek(&en.res, e, week, nsAddrs)
 
 	// A week of usage dynamics between scans.

@@ -1,0 +1,19 @@
+package experiment
+
+// ScenarioInfo records which declarative scenario spec (internal/scenario)
+// produced a campaign. Campaigns carry it into every WAL footer and
+// checkpoint cursor, so a snapshot directory is self-describing: rrserve
+// can answer "what scenario produced this epoch" from the cursor alone,
+// and a resumed run can cross-check it is continuing the right campaign.
+// The info is pure provenance — it never influences the computation.
+type ScenarioInfo struct {
+	// Name is the spec's metadata.name.
+	Name string `json:"name"`
+	// Hash is the SHA-256 hex digest of the spec's canonical form; two
+	// specs with the same hash compile to the same campaign.
+	Hash string `json:"hash"`
+	// Canonical is the normalized v1 spec itself, so a checkpoint
+	// directory carries everything needed to re-run its campaign.
+	// Omitted from cursors when empty (a flag-driven campaign).
+	Canonical []byte `json:"canonical,omitempty"`
+}

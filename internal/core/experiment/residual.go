@@ -132,6 +132,18 @@ type Residual struct {
 	// simply starts from the beginning.
 	Resume bool
 
+	// Attack, when non-nil, runs a reflection flood against the scanned
+	// provider's nameservers alongside each weekly scan — see AttackLoad.
+	// Pair with world.Config.NSRateLimit to make the flood and the
+	// scanner compete for the nameservers' response budget.
+	Attack *AttackLoad
+
+	// Scenario, when non-nil, records which declarative scenario spec
+	// produced this campaign; it rides along into every checkpoint and
+	// WAL footer so rrserve can answer "what scenario produced this
+	// epoch". It does not influence the computation.
+	Scenario *ScenarioInfo
+
 	// StopAfterRounds, when positive, stops the campaign after that many
 	// collection rounds (warm-up rounds count) and returns the partial
 	// result — the test hook that simulates a kill at a round boundary.
@@ -188,6 +200,7 @@ type residualEnv struct {
 	scanner   *rrscan.Scanner
 	cnameLib  *rrscan.CNAMELibrary
 	cfProfile dps.Profile
+	attack    *attackEnv // reflection-flood infra, nil without AttackLoad
 }
 
 func (r Residual) setup() *residualEnv {
@@ -238,7 +251,7 @@ func (r Residual) setup() *residualEnv {
 	}
 
 	cfProfile, _ := dps.ProfileFor(dps.Cloudflare)
-	return &residualEnv{
+	e := &residualEnv{
 		w:         w,
 		resolver:  resolver,
 		domains:   domains,
@@ -248,6 +261,8 @@ func (r Residual) setup() *residualEnv {
 		cnameLib:  cnameLib,
 		cfProfile: cfProfile,
 	}
+	r.setupAttack(e)
+	return e
 }
 
 // audit runs the §VI-B.1 provider-side countermeasure when enabled.
@@ -344,6 +359,7 @@ func (r Residual) runLegacy(e *residualEnv) ResidualResult {
 		nsHosts, nsAddrs := rrscan.DiscoverNameservers([]collect.Snapshot{snap}, e.cfProfile, e.resolver)
 		res.addWeekHosts(week, nsHosts)
 
+		r.floodWeek(e, week, nsAddrs)
 		r.scanWeek(&res, e, week, nsAddrs)
 
 		// A week of usage dynamics between scans.

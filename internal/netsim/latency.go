@@ -100,6 +100,14 @@ func (n *Network) Exchange(from netip.Addr, fromRegion Region, to Endpoint, payl
 		n.mu.Unlock()
 		return nil, 0, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
 	}
+	if st.limit != nil && !st.limit.admit(from, n.clock.Now()) {
+		// Rate-limited: the server drops the query without answering, so
+		// the client sees the same timeout an injected loss produces.
+		n.drops++
+		n.limitDrops++
+		n.mu.Unlock()
+		return nil, 0, fmt.Errorf("sending to %s: %w", to, ErrTimeout)
+	}
 	inst := st.instances[0]
 	if len(st.instances) > 1 {
 		best := Distance(fromRegion, inst.region)

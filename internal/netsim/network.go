@@ -98,6 +98,7 @@ type popInstance struct {
 type endpointState struct {
 	instances  []popInstance
 	blackholed bool
+	limit      *limitState       // response rate limiter, nil when none
 	queries    map[Region]uint64 // per-PoP delivered query counts
 }
 
@@ -122,6 +123,7 @@ type Network struct {
 	endpoints  map[Endpoint]*endpointState
 	sends      uint64
 	drops      uint64
+	limitDrops uint64
 	faults     FaultConfig
 	faultStats FaultStats
 }

@@ -13,9 +13,14 @@ import (
 // run's exactly; queries made before a crash would otherwise vanish from
 // counters the resumed process never replays.
 type CountersState struct {
-	Sends     uint64           `json:"sends"`
-	Drops     uint64           `json:"drops"`
-	Endpoints []EndpointCounts `json:"endpoints,omitempty"`
+	Sends uint64 `json:"sends"`
+	Drops uint64 `json:"drops"`
+	// LimitDrops is the subset of Drops rejected by response rate
+	// limiters. Only the cumulative count is carried: the limiters'
+	// in-window budgets reset on their next window anyway, and campaign
+	// checkpoints land at round boundaries at least a day apart.
+	LimitDrops uint64           `json:"limitDrops,omitempty"`
+	Endpoints  []EndpointCounts `json:"endpoints,omitempty"`
 }
 
 // EndpointCounts is one endpoint's per-PoP served-query counters.
@@ -31,7 +36,7 @@ type EndpointCounts struct {
 func (n *Network) ExportCounters() CountersState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	st := CountersState{Sends: n.sends, Drops: n.drops}
+	st := CountersState{Sends: n.sends, Drops: n.drops, LimitDrops: n.limitDrops}
 	for ep, es := range n.endpoints {
 		if len(es.queries) == 0 {
 			continue
@@ -65,7 +70,7 @@ func (n *Network) RestoreCounters(st CountersState) error {
 			return fmt.Errorf("netsim: restore counters: no handler registered at %s:%d", ec.Addr, ec.Port)
 		}
 	}
-	n.sends, n.drops = st.Sends, st.Drops
+	n.sends, n.drops, n.limitDrops = st.Sends, st.Drops, st.LimitDrops
 	for _, es := range n.endpoints {
 		for r := range es.queries {
 			delete(es.queries, r)

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden rewrites the conversion goldens from current output:
+//
+//	go test ./internal/scenario -run TestConvertV1Alpha1Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestConvertV1Alpha1Golden parses every v1alpha1 document under
+// testdata/convert and compares the canonical v1 form against its
+// .golden.json neighbour. The goldens pin the conversion: churnWaves
+// become leave+switch waves, defaults land explicitly, and the
+// apiVersion is rewritten to the hub version.
+func TestConvertV1Alpha1Golden(t *testing.T) {
+	dir := filepath.Join("testdata", "convert")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	ran := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".golden.json") {
+			continue
+		}
+		ran++
+		t.Run(strings.TrimSuffix(name, ".json"), func(t *testing.T) {
+			spec, err := Load(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("parsing alpha input: %v", err)
+			}
+			if spec.Doc.APIVersion != APIVersionV1 {
+				t.Errorf("converted apiVersion = %q, want %q", spec.Doc.APIVersion, APIVersionV1)
+			}
+			goldenPath := filepath.Join(dir, strings.TrimSuffix(name, ".json")+".golden.json")
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, spec.Canonical, 0o644); err != nil {
+					t.Fatalf("writing golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if string(want) != string(spec.Canonical) {
+				t.Errorf("canonical form differs from golden %s:\n--- golden\n%s\n--- got\n%s", goldenPath, want, spec.Canonical)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no alpha inputs under testdata/convert")
+	}
+}
+
+// TestConvertV1Alpha1WaveMapping pins the semantic core of the
+// conversion independent of formatting: one alpha churnWave becomes one
+// v1 wave scaling LEAVE and SWITCH by the same multiplier and nothing
+// else.
+func TestConvertV1Alpha1WaveMapping(t *testing.T) {
+	alpha := V1Alpha1{
+		APIVersion: APIVersionV1Alpha1,
+		Kind:       KindScenario,
+		Metadata:   Metadata{Name: "alpha-wave"},
+		Campaign:   Campaign{Kind: CampaignDynamics},
+		ChurnWaves: []AlphaWave{{Day: 5, Length: 3, Mult: 4}},
+	}
+	doc := ConvertV1Alpha1(alpha)
+	if len(doc.Waves) != 1 {
+		t.Fatalf("got %d waves, want 1", len(doc.Waves))
+	}
+	w := doc.Waves[0]
+	want := Wave{StartDay: 5, Days: 3, LeaveMult: 4, SwitchMult: 4}
+	if w != want {
+		t.Errorf("converted wave %+v, want %+v", w, want)
+	}
+}
+
+// TestAlphaRejectsV1OnlyFields pins that the alpha schema has no
+// world/attack/waves sections: those arrived with v1, and an alpha file
+// using them must fail loudly rather than silently drop them.
+func TestAlphaRejectsV1OnlyFields(t *testing.T) {
+	for _, field := range []string{
+		`"waves": []`,
+		`"world": {}`,
+		`"attack": {"bots":1,"requestsPerBot":1,"amplification":1,"resolvers":1}`,
+	} {
+		src := `{
+  "apiVersion": "rrdps/v1alpha1",
+  "kind": "Scenario",
+  "metadata": { "name": "x" },
+  "campaign": { "kind": "residual" },
+  ` + field + `
+}`
+		if _, err := Parse("alpha.json", []byte(src)); err == nil {
+			t.Errorf("alpha document with %s parsed; want unknown-field error", field)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package scenario
+
+// V1Alpha1 is the original draft spec format, kept decodable so early
+// scenario files keep working. It differs from the v1 hub form in two
+// ways: churn waves were a single-multiplier "churnWaves" list (one mult
+// applied to both LEAVE and SWITCH — the only churn anyone boosted), and
+// the world/attack sections did not exist yet. Conversion is lossless:
+// everything an alpha document can say, a v1 document can say.
+type V1Alpha1 struct {
+	APIVersion string      `json:"apiVersion"`
+	Kind       string      `json:"kind"`
+	Metadata   Metadata    `json:"metadata"`
+	Campaign   Campaign    `json:"campaign"`
+	Resolver   Resolver    `json:"resolver"`
+	Faults     *Faults     `json:"faults,omitempty"`
+	ChurnWaves []AlphaWave `json:"churnWaves,omitempty"`
+}
+
+// AlphaWave is the v1alpha1 wave shape: a day range and one multiplier.
+type AlphaWave struct {
+	// Day is the first affected world day.
+	Day int `json:"day"`
+	// Length is the wave duration in days.
+	Length int `json:"length"`
+	// Mult scales both the LEAVE and SWITCH hazards for the range.
+	Mult float64 `json:"mult"`
+}
+
+// ConvertV1Alpha1 converts an alpha document to the v1 hub form. The
+// returned document is not yet normalized or validated; Parse does both
+// after conversion, so alpha files get the same defaulting and the same
+// line-anchored diagnostics as native v1 files.
+func ConvertV1Alpha1(alpha V1Alpha1) V1 {
+	doc := V1{
+		APIVersion: APIVersionV1,
+		Kind:       alpha.Kind,
+		Metadata:   alpha.Metadata,
+		Campaign:   alpha.Campaign,
+		Resolver:   alpha.Resolver,
+		Faults:     alpha.Faults,
+	}
+	for _, w := range alpha.ChurnWaves {
+		doc.Waves = append(doc.Waves, Wave{
+			StartDay:   w.Day,
+			Days:       w.Length,
+			LeaveMult:  w.Mult,
+			SwitchMult: w.Mult,
+		})
+	}
+	return doc
+}

@@ -113,6 +113,64 @@ func TestCheckpointEqualsLive(t *testing.T) {
 	}
 }
 
+// TestStatsExposesScenarioProvenance pins the "what scenario produced
+// this epoch" answer: a campaign configured from a scenario spec carries
+// the spec's name and hash through its checkpoints into /v1/stats, both
+// live and from disk; a flag-driven campaign reports no scenario at all.
+func TestStatsExposesScenarioProvenance(t *testing.T) {
+	dir := t.TempDir()
+	cfg := world.PaperConfig(200)
+	cfg.Seed = 9001
+	live := &LiveSource{}
+	experiment.Dynamics{
+		World:         world.New(cfg),
+		Days:          3,
+		CheckpointDir: dir,
+		OnSeal:        live.OnSeal,
+		Scenario: &experiment.ScenarioInfo{
+			Name:      "serve-provenance",
+			Hash:      "deadbeef",
+			Canonical: []byte("{}\n"),
+		},
+	}.Run()
+	ckpt, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, src := range map[string]Source{"live": live, "checkpoint": ckpt} {
+		srv := New(Config{Source: src})
+		var stats struct {
+			Scenario *struct {
+				Name string `json:"name"`
+				Hash string `json:"hash"`
+			} `json:"scenario"`
+		}
+		if err := json.Unmarshal(get(t, srv.Handler(), "/v1/stats", nil).Body.Bytes(), &stats); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.Scenario == nil {
+			t.Fatalf("%s: stats has no scenario section", name)
+		}
+		if stats.Scenario.Name != "serve-provenance" || stats.Scenario.Hash != "deadbeef" {
+			t.Errorf("%s: scenario = %+v, want serve-provenance/deadbeef", name, stats.Scenario)
+		}
+	}
+
+	// A flag-driven campaign must not invent provenance.
+	plain := runDynamicsCampaign(t, t.TempDir(), 2)
+	var stats struct {
+		Scenario *struct{} `json:"scenario"`
+	}
+	srv := New(Config{Source: plain})
+	if err := json.Unmarshal(get(t, srv.Handler(), "/v1/stats", nil).Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scenario != nil {
+		t.Error("flag-driven campaign reports a scenario section")
+	}
+}
+
 func TestDomainAnswers(t *testing.T) {
 	dir := t.TempDir()
 	live := runDynamicsCampaign(t, dir, 5)

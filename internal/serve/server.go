@@ -254,9 +254,18 @@ type residualStatsJSON struct {
 	VerifiedTotal   map[string]int `json:"verified_total"`
 }
 
+// scenarioStatsJSON identifies the scenario spec that produced the
+// epoch: the metadata.name and the SHA-256 of the spec's canonical form,
+// as recorded in the campaign cursor. Absent for flag-driven campaigns.
+type scenarioStatsJSON struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+}
+
 type statsResponse struct {
 	Kind     string             `json:"kind"`
 	WorldDay int                `json:"world_day"`
+	Scenario *scenarioStatsJSON `json:"scenario,omitempty"`
 	Store    storeStatsJSON     `json:"store"`
 	Dynamics *dynamicsStatsJSON `json:"dynamics,omitempty"`
 	Residual *residualStatsJSON `json:"residual,omitempty"`
@@ -578,6 +587,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Tombstones:    st.Tombstones,
 			InternedNames: st.InternedNames,
 		},
+	}
+	if scn := e.State.Scenario; scn != nil {
+		resp.Scenario = &scenarioStatsJSON{Name: scn.Name, Hash: scn.Hash}
 	}
 	if dyn := e.State.Dynamics; dyn != nil {
 		d := &dynamicsStatsJSON{

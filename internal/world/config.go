@@ -51,6 +51,15 @@ type Config struct {
 	PauseRate  float64 // per protected site of a pause-capable provider
 	SwitchRate float64 // per enrolled site
 
+	// Waves schedules day-ranged multipliers over the behaviour hazards —
+	// the post-attack churn bursts of "No Time for Downtime" (Haq et
+	// al.): an attack day makes customers switch or abandon providers at
+	// elevated rates for a stretch of days. An empty list leaves every
+	// hazard untouched and the world byte-identical to a wave-free one
+	// (the per-site dice are rolled against the same effective rates in
+	// the same order).
+	Waves []ChurnWave
+
 	// NotifiedLeaveRate is the probability a leaving/switching customer
 	// explicitly informs the provider (footnote 10); only notified
 	// terminations trigger the residual policy.
@@ -121,6 +130,32 @@ type Config struct {
 	// scrubbing centers of §II-A.1). Nil admits all traffic; the DDoS
 	// demo installs a rate-based scrubber here.
 	Scrubber edge.Scrubber
+
+	// NSRateLimit, when enabled, installs a response rate limiter on
+	// every provider nameserver endpoint (the NS-hosting pools and the
+	// infrastructure nameservers) — the Rizvi-style layered defense that
+	// throttles a scanner hammering the fleet. The root/TLD backbone and
+	// hosting nameservers stay unlimited.
+	NSRateLimit netsim.LimitConfig
+}
+
+// ChurnWave is one scheduled burst of elevated (or damped) behaviour
+// hazards: for world days in [StartDay, StartDay+Days) each non-zero
+// multiplier scales its hazard. Zero multipliers mean "unchanged", so a
+// wave can target just LEAVE/SWITCH without restating the others.
+// Overlapping waves compound.
+type ChurnWave struct {
+	StartDay   int
+	Days       int
+	JoinMult   float64
+	LeaveMult  float64
+	PauseMult  float64
+	SwitchMult float64
+}
+
+// active reports whether the wave covers world day d.
+func (cw ChurnWave) active(d int) bool {
+	return d >= cw.StartDay && d < cw.StartDay+cw.Days
 }
 
 // ExposureRates holds per-vector probabilities for site generation.
@@ -232,6 +267,14 @@ func (c Config) validate() {
 	for key := range c.ProviderShares {
 		if _, ok := dps.ProfileFor(key); !ok {
 			panic(fmt.Sprintf("world: share for unknown provider %q", key))
+		}
+	}
+	for i, wave := range c.Waves {
+		if wave.Days <= 0 || wave.StartDay < 0 {
+			panic(fmt.Sprintf("world: wave %d has StartDay %d, Days %d", i, wave.StartDay, wave.Days))
+		}
+		if wave.JoinMult < 0 || wave.LeaveMult < 0 || wave.PauseMult < 0 || wave.SwitchMult < 0 {
+			panic(fmt.Sprintf("world: wave %d has a negative multiplier", i))
 		}
 	}
 }

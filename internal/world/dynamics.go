@@ -164,14 +164,41 @@ func (w *World) AdvanceDays(n int) {
 	}
 }
 
+// effectiveRates returns the day's behaviour hazards: the configured
+// base rates scaled by every churn wave covering the current world day.
+// With no waves configured this returns the base rates unchanged, so a
+// wave-free world rolls exactly the same dice as before waves existed.
+func (w *World) effectiveRates() (join, leave, pause, switchRate float64) {
+	join, leave, pause, switchRate = w.cfg.JoinRate, w.cfg.LeaveRate, w.cfg.PauseRate, w.cfg.SwitchRate
+	for _, wave := range w.cfg.Waves {
+		if !wave.active(w.day) {
+			continue
+		}
+		if wave.JoinMult > 0 {
+			join *= wave.JoinMult
+		}
+		if wave.LeaveMult > 0 {
+			leave *= wave.LeaveMult
+		}
+		if wave.PauseMult > 0 {
+			pause *= wave.PauseMult
+		}
+		if wave.SwitchMult > 0 {
+			switchRate *= wave.SwitchMult
+		}
+	}
+	return join, leave, pause, switchRate
+}
+
 // stepSite rolls one site's daily behaviour.
 func (w *World) stepSite(site *website.Site) {
 	apex := site.Domain().Apex
 	key, _, paused := site.Provider()
+	joinRate, leaveRate, pauseRate, switchRate := w.effectiveRates()
 
 	switch {
 	case key == "":
-		if w.rng.Float64() < w.cfg.JoinRate {
+		if w.rng.Float64() < joinRate {
 			w.doJoin(site)
 			return
 		}
@@ -192,18 +219,18 @@ func (w *World) stepSite(site *website.Site) {
 			return
 		}
 		// A paused site may still abandon the platform entirely.
-		if w.rng.Float64() < w.cfg.LeaveRate {
+		if w.rng.Float64() < leaveRate {
 			w.doLeave(site, key)
 			delete(w.pausedUntil, apex)
 		}
 	default: // protected, ON
 		roll := w.rng.Float64()
 		switch {
-		case roll < w.cfg.LeaveRate:
+		case roll < leaveRate:
 			w.doLeave(site, key)
-		case roll < w.cfg.LeaveRate+w.cfg.SwitchRate:
+		case roll < leaveRate+switchRate:
 			w.doSwitch(site, key)
-		case roll < w.cfg.LeaveRate+w.cfg.SwitchRate+w.cfg.PauseRate && pauseCapable(key):
+		case roll < leaveRate+switchRate+pauseRate && pauseCapable(key):
 			if err := site.Pause(); err != nil {
 				panic(fmt.Sprintf("world: pausing %s: %v", apex, err))
 			}

@@ -250,6 +250,25 @@ func (w *World) buildProviders() {
 		p := dps.New(cfg)
 		w.providers[profile.Key] = p
 		w.delegateInfra(p.InfraApex(), p.InfraNS())
+		w.installNSRateLimit(p)
+	}
+}
+
+// installNSRateLimit applies the configured response rate limiter to every
+// nameserver endpoint the provider operates: the NS-rerouting pool and the
+// infrastructure nameservers. Root, TLD, and hosting servers stay
+// unlimited — the layered defense throttles the DPS fleet only.
+func (w *World) installNSRateLimit(p *dps.Provider) {
+	if !w.cfg.NSRateLimit.Enabled() {
+		return
+	}
+	for _, host := range p.NSPool() {
+		if addr, ok := p.NSPoolAddr(host); ok {
+			w.Net.SetLimit(netsim.Endpoint{Addr: addr, Port: netsim.PortDNS}, w.cfg.NSRateLimit)
+		}
+	}
+	for _, addr := range p.InfraNS() {
+		w.Net.SetLimit(netsim.Endpoint{Addr: addr, Port: netsim.PortDNS}, w.cfg.NSRateLimit)
 	}
 }
 

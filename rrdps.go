@@ -16,6 +16,7 @@ import (
 	"rrdps/internal/dps"
 	"rrdps/internal/netsim"
 	"rrdps/internal/obs"
+	"rrdps/internal/scenario"
 	"rrdps/internal/serve"
 	"rrdps/internal/snapdisk"
 	"rrdps/internal/snapstore"
@@ -82,6 +83,48 @@ type ResidualEngine = experiment.ResidualEngine
 
 // PurgeTrial replicates the §V-A.3 controlled purge experiment.
 type PurgeTrial = experiment.PurgeTrial
+
+// ---------------------------------------------------------------------------
+// Scenario specs (declarative campaign configuration).
+
+// ScenarioSpec is a parsed, validated, canonicalized scenario document:
+// the versioned JSON spec format the -scenario flag consumes. Canonical
+// holds the defaults-applied canonical encoding and Hash its SHA-256 —
+// the provenance identity recorded in campaign checkpoints.
+type ScenarioSpec = scenario.Spec
+
+// CompiledScenario is a ScenarioSpec lowered onto the runtime types: a
+// world Config, a resolver Policy, the campaign horizon, and (for
+// residual campaigns) an optional attack load.
+type CompiledScenario = scenario.Compiled
+
+// ScenarioError is a spec loading/validation failure anchored to a line
+// of the offending file ("file.json:7: campaign: churnBoost must be > 0").
+type ScenarioError = scenario.Error
+
+// ScenarioInfo is the provenance a compiled scenario threads into
+// campaign results and checkpoints (name, spec hash, canonical bytes);
+// the lookup service reports it under /v1/stats.
+type ScenarioInfo = experiment.ScenarioInfo
+
+// Scenario campaign kinds (Campaign.Kind in a spec document).
+const (
+	ScenarioDynamics = scenario.CampaignDynamics
+	ScenarioResidual = scenario.CampaignResidual
+)
+
+// LoadScenario reads, parses, validates, and canonicalizes a scenario
+// spec file (rrdps/v1, or rrdps/v1alpha1 converted on the way in).
+var LoadScenario = scenario.Load
+
+// ParseScenario is LoadScenario over bytes already in hand; file is used
+// only to label errors.
+var ParseScenario = scenario.Parse
+
+// CompileScenario lowers a validated spec onto the runtime configuration
+// types. Compilation is infallible: every failure mode is caught by
+// validation at parse time.
+var CompileScenario = scenario.Compile
 
 // ---------------------------------------------------------------------------
 // Pipeline building blocks, for callers composing their own campaigns.
